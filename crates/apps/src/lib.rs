@@ -1,0 +1,151 @@
+//! # apps — the paper's seven applications, in every restructured version
+//!
+//! Six SPLASH/SPLASH-2 codes (LU, Ocean, Volrend, Raytrace, Barnes, Radix)
+//! plus the shear-warp volume renderer, re-implemented against the
+//! `sim-core` shared-address-space API. Each application module provides:
+//!
+//! * a deterministic workload generator,
+//! * a plain-Rust **sequential reference** used for correctness checking,
+//! * one parallel body per **version** — the paper's `Orig`, `P/A`
+//!   (padding/alignment), `DS` (data-structure reorganization) and `Alg`
+//!   (algorithmic change) optimization classes,
+//! * a verifier comparing parallel output against the reference.
+//!
+//! The applications really compute their results *through* the platform's
+//! coherence machinery (page diffs under SVM), so a passing verifier
+//! simultaneously validates the app and the protocol.
+
+// Indexed loops over fixed coordinate dimensions are clearer than
+// iterator adaptors in this numeric code.
+#![allow(clippy::needless_range_loop)]
+pub mod barnes;
+pub mod common;
+pub mod lu;
+pub mod ocean;
+pub mod radix;
+pub mod raytrace;
+pub mod shearwarp;
+pub mod volrend;
+
+pub use common::{AppResult, Bcast, Platform, Scale};
+
+use sim_core::RunStats;
+
+/// Identifies one application for generic harness code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Blocked dense LU factorization.
+    Lu,
+    /// Regular-grid nearest-neighbour solver (Ocean).
+    Ocean,
+    /// Ray-casting volume renderer (Volrend).
+    Volrend,
+    /// Shear-warp volume renderer.
+    ShearWarp,
+    /// Recursive ray tracer.
+    Raytrace,
+    /// Hierarchical N-body (Barnes-Hut).
+    Barnes,
+    /// Radix sort.
+    Radix,
+}
+
+impl App {
+    /// All applications in the paper's presentation order.
+    pub const ALL: [App; 7] = [
+        App::Lu,
+        App::Ocean,
+        App::Volrend,
+        App::ShearWarp,
+        App::Raytrace,
+        App::Barnes,
+        App::Radix,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Lu => "LU",
+            App::Ocean => "Ocean",
+            App::Volrend => "Volrend",
+            App::ShearWarp => "Shear-Warp",
+            App::Raytrace => "Raytrace",
+            App::Barnes => "Barnes",
+            App::Radix => "Radix",
+        }
+    }
+}
+
+/// The paper's optimization classes (Figure 16's x-axis groups).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptClass {
+    /// The original program.
+    Orig,
+    /// Padding and alignment.
+    PadAlign,
+    /// Data-structure reorganization.
+    DataStruct,
+    /// Algorithmic change.
+    Algorithm,
+}
+
+impl OptClass {
+    /// All classes in order of increasing effort.
+    pub const ALL: [OptClass; 4] = [
+        OptClass::Orig,
+        OptClass::PadAlign,
+        OptClass::DataStruct,
+        OptClass::Algorithm,
+    ];
+
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptClass::Orig => "Orig",
+            OptClass::PadAlign => "P/A",
+            OptClass::DataStruct => "DS",
+            OptClass::Algorithm => "Alg",
+        }
+    }
+}
+
+/// A fully-specified experiment: application + optimization class.
+///
+/// `run` executes it on `platform` with `nprocs` processors at `scale` and
+/// returns verified statistics. Panics if the application's output does not
+/// match its sequential reference — a correctness failure is never silent.
+#[derive(Clone, Copy, Debug)]
+pub struct AppSpec {
+    /// Which application.
+    pub app: App,
+    /// Which optimization class to run.
+    pub class: OptClass,
+}
+
+impl AppSpec {
+    /// Run this experiment and return verified run statistics.
+    pub fn run(&self, platform: Platform, nprocs: usize, scale: Scale) -> RunStats {
+        match self.app {
+            App::Lu => lu::run(platform, nprocs, scale, lu::version_for(self.class)).stats,
+            App::Ocean => {
+                ocean::run(platform, nprocs, scale, ocean::version_for(self.class)).stats
+            }
+            App::Volrend => {
+                volrend::run(platform, nprocs, scale, volrend::version_for(self.class)).stats
+            }
+            App::ShearWarp => {
+                shearwarp::run(platform, nprocs, scale, shearwarp::version_for(self.class))
+                    .stats
+            }
+            App::Raytrace => {
+                raytrace::run(platform, nprocs, scale, raytrace::version_for(self.class)).stats
+            }
+            App::Barnes => {
+                barnes::run(platform, nprocs, scale, barnes::version_for(self.class)).stats
+            }
+            App::Radix => {
+                radix::run(platform, nprocs, scale, radix::version_for(self.class)).stats
+            }
+        }
+    }
+}

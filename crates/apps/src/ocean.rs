@@ -1,0 +1,473 @@
+//! Ocean — regular-grid nearest-neighbour PDE solver (SPLASH-2 style).
+//!
+//! The computation preserves the structure the paper studies: multiple
+//! `n x n` grids, a stencil phase, red-black Gauss-Seidel relaxation sweeps
+//! with barriers after every half-sweep, and a lock-accumulated global
+//! residual — many barriers per time-step, one-producer/one-consumer
+//! near-neighbour communication that is coarse-grained along row-oriented
+//! partition boundaries but fine-grained (fragmented) along column-oriented
+//! ones. (The full SPLASH-2 Ocean is a deeper multigrid solver; the reduced
+//! solver keeps the same grids/phases/communication geometry, which is what
+//! the paper's analysis rests on. See DESIGN.md §1.)
+//!
+//! ## Versions (paper §4.1.2)
+//!
+//! * [`OceanVersion::Orig2d`] — 2-d arrays, square sub-grid partitions:
+//!   partitions are not contiguous in the address space.
+//! * [`OceanVersion::PadAlign`] — rows padded to page multiples. The paper:
+//!   "simply padding and aligning each sub-row within a sub-grid does not
+//!   reduce fragmentation".
+//! * [`OceanVersion::Contig4d`] — 4-d arrays: each square partition
+//!   contiguous, page-aligned, homed on its owner. Speedup improves a lot
+//!   but barriers and column-boundary communication remain.
+//! * [`OceanVersion::RowWise`] — the algorithmic change: partition into
+//!   blocks of whole rows. Worse inherent communication/computation ratio,
+//!   but all communication is coarse-grained on row boundaries; partitions
+//!   are contiguous even in a plain 2-d array. The paper's winner on SVM —
+//!   while square 4-d stays best on hardware-coherent machines.
+
+use crate::common::{assert_close_slice, checksum_f64s, AppResult, Bcast, Platform, Scale};
+use crate::OptClass;
+use sim_core::{run as sim_run, Placement, Proc, RunConfig, PAGE_SIZE};
+
+/// Ocean problem parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OceanParams {
+    /// Grid dimension (including the fixed boundary ring). Must be divisible
+    /// by the square-partition grid.
+    pub n: usize,
+    /// Time-steps.
+    pub steps: usize,
+    /// Red-black relaxation sweeps per step.
+    pub sweeps: usize,
+}
+
+impl OceanParams {
+    /// Parameters for a scale preset.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Self {
+                n: 32,
+                steps: 1,
+                sweeps: 2,
+            },
+            Scale::Default => Self {
+                n: 256,
+                steps: 2,
+                sweeps: 4,
+            },
+            Scale::Paper => Self {
+                n: 512,
+                steps: 4,
+                sweeps: 6,
+            },
+        }
+    }
+}
+
+/// The restructured versions of Ocean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OceanVersion {
+    /// 2-d arrays, square partitions, round-robin pages.
+    Orig2d,
+    /// 2-d arrays with page-padded rows, square partitions.
+    PadAlign,
+    /// 4-d arrays: page-aligned, owner-homed square partitions.
+    Contig4d,
+    /// Row-wise partitions on plain 2-d arrays (first-touch homes).
+    RowWise,
+}
+
+/// Map the paper's optimization class to an Ocean version.
+pub fn version_for(class: OptClass) -> OceanVersion {
+    match class {
+        OptClass::Orig => OceanVersion::Orig2d,
+        OptClass::PadAlign => OceanVersion::PadAlign,
+        OptClass::DataStruct => OceanVersion::Contig4d,
+        OptClass::Algorithm => OceanVersion::RowWise,
+    }
+}
+
+/// Grid layout: 2-d (with pitch) or 4-d blocked.
+#[derive(Clone, Copy)]
+enum GL {
+    G2 { base: u64, pitch: usize },
+    G4 { base: u64, bdim: usize, bpr: usize },
+}
+
+impl GL {
+    #[inline(always)]
+    fn addr(&self, r: usize, c: usize) -> u64 {
+        match *self {
+            GL::G2 { base, pitch } => base + ((r * pitch + c) as u64) * 8,
+            GL::G4 { base, bdim, bpr } => {
+                let (bi, ri) = (r / bdim, r % bdim);
+                let (bj, cj) = (c / bdim, c % bdim);
+                let bsz = ((bdim * bdim * 8) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                base + (bi * bpr + bj) as u64 * bsz + ((ri * bdim + cj) as u64) * 8
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, p: &mut Proc, r: usize, c: usize) -> f64 {
+        f64::from_bits(p.load(self.addr(r, c), 8))
+    }
+
+    #[inline(always)]
+    fn set(&self, p: &mut Proc, r: usize, c: usize, v: f64) {
+        p.store(self.addr(r, c), 8, v.to_bits());
+    }
+}
+
+/// Initial condition (deterministic, smooth + boundary ring).
+fn init_val(i: usize, j: usize, n: usize) -> f64 {
+    let x = i as f64 / n as f64;
+    let y = j as f64 / n as f64;
+    x * (1.0 - x) * y * (1.0 - y) * 4.0 + 0.1 * ((i * 31 + j * 17) % 13) as f64 / 13.0
+}
+
+/// Source-term grid value.
+fn rhs_val(i: usize, j: usize, n: usize) -> f64 {
+    let x = i as f64 / n as f64;
+    let y = j as f64 / n as f64;
+    (x - 0.5) * (y - 0.5) * 0.01
+}
+
+/// Sequential reference: identical arithmetic order (within each colour,
+/// element updates are independent, so results are bitwise comparable).
+pub fn reference(params: &OceanParams) -> Vec<f64> {
+    let n = params.n;
+    let mut psi: Vec<f64> = (0..n * n).map(|k| init_val(k / n, k % n, n)).collect();
+    let rhs: Vec<f64> = (0..n * n).map(|k| rhs_val(k / n, k % n, n)).collect();
+    let mut tmp = vec![0.0f64; n * n];
+    for _step in 0..params.steps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                tmp[i * n + j] = psi[(i - 1) * n + j]
+                    + psi[(i + 1) * n + j]
+                    + psi[i * n + j - 1]
+                    + psi[i * n + j + 1]
+                    - 4.0 * psi[i * n + j];
+            }
+        }
+        for _sweep in 0..params.sweeps {
+            for colour in 0..2usize {
+                for i in 1..n - 1 {
+                    let jstart = 1 + ((colour + i + 1) % 2);
+                    let mut j = jstart;
+                    while j <= n - 2 {
+                        let nb = psi[(i - 1) * n + j]
+                            + psi[(i + 1) * n + j]
+                            + psi[i * n + j - 1]
+                            + psi[i * n + j + 1];
+                        let target = 0.25 * (nb - (rhs[i * n + j] + 0.1 * tmp[i * n + j]));
+                        psi[i * n + j] += 0.9 * (target - psi[i * n + j]);
+                        j += 2;
+                    }
+                }
+            }
+        }
+    }
+    psi
+}
+
+fn square_grid(nprocs: usize) -> usize {
+    let sp = (nprocs as f64).sqrt().round() as usize;
+    assert_eq!(sp * sp, nprocs, "square partitions need a square proc count");
+    sp
+}
+
+/// Per-processor iteration space: inclusive row/col ranges of owned interior
+/// points.
+#[derive(Clone, Copy, Debug)]
+struct Part {
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+}
+
+fn partition(version: OceanVersion, n: usize, nprocs: usize, pid: usize) -> Part {
+    match version {
+        OceanVersion::RowWise => {
+            let rows = n - 2;
+            let per = rows / nprocs;
+            let extra = rows % nprocs;
+            let r0 = 1 + pid * per + pid.min(extra);
+            let mine = per + usize::from(pid < extra);
+            Part {
+                r0,
+                r1: r0 + mine - 1,
+                c0: 1,
+                c1: n - 2,
+            }
+        }
+        _ => {
+            let sp = square_grid(nprocs);
+            let bdim = n / sp;
+            let (pi, pj) = (pid / sp, pid % sp);
+            let r0 = (pi * bdim).max(1);
+            let r1 = ((pi + 1) * bdim - 1).min(n - 2);
+            let c0 = (pj * bdim).max(1);
+            let c1 = ((pj + 1) * bdim - 1).min(n - 2);
+            Part { r0, r1, c0, c1 }
+        }
+    }
+}
+
+/// Run Ocean on a platform; panics if the result diverges from the
+/// sequential reference.
+pub fn run_params(
+    platform: Platform,
+    nprocs: usize,
+    params: &OceanParams,
+    version: OceanVersion,
+) -> AppResult {
+    let n = params.n;
+    if !matches!(version, OceanVersion::RowWise) {
+        let sp = square_grid(nprocs);
+        assert_eq!(n % sp, 0, "grid dim must divide by partition grid");
+    }
+    let layout_bc: Bcast<(GL, GL, GL, u64)> = Bcast::new();
+    let result = std::sync::Mutex::new(Vec::new());
+
+    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+        let me = p.pid();
+        if me == 0 {
+            let nprocs = p.nprocs();
+            let mk = |p: &mut Proc| -> GL {
+                match version {
+                    OceanVersion::Orig2d => GL::G2 {
+                        base: p.alloc_shared((n * n * 8) as u64, PAGE_SIZE, Placement::RoundRobin),
+                        pitch: n,
+                    },
+                    OceanVersion::PadAlign => {
+                        let grain = platform.grain();
+                        let pitch =
+                            (((n * 8) as u64).div_ceil(grain) * grain / 8) as usize;
+                        GL::G2 {
+                            base: p.alloc_shared(
+                                (n * pitch * 8) as u64,
+                                PAGE_SIZE,
+                                Placement::RoundRobin,
+                            ),
+                            pitch,
+                        }
+                    }
+                    OceanVersion::Contig4d => {
+                        let sp = square_grid(nprocs);
+                        let bdim = n / sp;
+                        let bsz = ((bdim * bdim * 8) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                        let chunk = bsz / PAGE_SIZE;
+                        GL::G4 {
+                            base: p.alloc_shared(
+                                bsz * (sp * sp) as u64,
+                                PAGE_SIZE,
+                                Placement::Blocked { chunk_pages: chunk },
+                            ),
+                            bdim,
+                            bpr: sp,
+                        }
+                    }
+                    OceanVersion::RowWise => GL::G2 {
+                        base: p.alloc_shared(
+                            (n * n * 8) as u64,
+                            PAGE_SIZE,
+                            Placement::FirstTouch,
+                        ),
+                        pitch: n,
+                    },
+                }
+            };
+            let psi = mk(p);
+            let rhs = mk(p);
+            let tmp = mk(p);
+            let resid = p.alloc_shared(8, 8, Placement::Node(0));
+            layout_bc.put((psi, rhs, tmp, resid));
+        }
+        p.barrier(100);
+        let (psi, rhs, tmp, resid) = layout_bc.get();
+
+        // Parallel initialization (untimed): each processor touches its own
+        // partition first — the "data distribution" step; under FirstTouch
+        // it also homes the pages.
+        let part = partition(version, n, p.nprocs(), me);
+        let full_r0 = if part.r0 == 1 { 0 } else { part.r0 };
+        let full_r1 = if part.r1 == n - 2 { n - 1 } else { part.r1 };
+        let full_c0 = if part.c0 == 1 { 0 } else { part.c0 };
+        let full_c1 = if part.c1 == n - 2 { n - 1 } else { part.c1 };
+        for i in full_r0..=full_r1 {
+            for j in full_c0..=full_c1 {
+                psi.set(p, i, j, init_val(i, j, n));
+                rhs.set(p, i, j, rhs_val(i, j, n));
+                tmp.set(p, i, j, 0.0);
+            }
+        }
+        p.barrier(101);
+        p.start_timing();
+
+        for _step in 0..params.steps {
+            // Stencil phase.
+            for i in part.r0..=part.r1 {
+                for j in part.c0..=part.c1 {
+                    let v = psi.get(p, i - 1, j)
+                        + psi.get(p, i + 1, j)
+                        + psi.get(p, i, j - 1)
+                        + psi.get(p, i, j + 1)
+                        - 4.0 * psi.get(p, i, j);
+                    tmp.set(p, i, j, v);
+                    p.work(6);
+                }
+            }
+            p.barrier(0);
+            // Red-black relaxation.
+            for _sweep in 0..params.sweeps {
+                for colour in 0..2u32 {
+                    for i in part.r0..=part.r1 {
+                        let jstart = part.c0 + ((colour as usize + i + part.c0) % 2);
+                        let mut j = jstart;
+                        while j <= part.c1 {
+                            let nb = psi.get(p, i - 1, j)
+                                + psi.get(p, i + 1, j)
+                                + psi.get(p, i, j - 1)
+                                + psi.get(p, i, j + 1);
+                            let target =
+                                0.25 * (nb - (rhs.get(p, i, j) + 0.1 * tmp.get(p, i, j)));
+                            let old = psi.get(p, i, j);
+                            psi.set(p, i, j, old + 0.9 * (target - old));
+                            p.work(10);
+                            j += 2;
+                        }
+                    }
+                    p.barrier(1 + colour);
+                }
+            }
+            // Residual reduction (lock-accumulated, as in SPLASH).
+            let mut local = 0.0f64;
+            for i in part.r0..=part.r1 {
+                for j in part.c0..=part.c1 {
+                    let d = rhs.get(p, i, j) - psi.get(p, i, j);
+                    local += d * d;
+                    p.work(3);
+                }
+            }
+            p.lock(0);
+            let g = p.read_f64(resid);
+            p.write_f64(resid, g + local);
+            p.unlock(0);
+            p.barrier(3);
+        }
+
+        p.stop_timing();
+        if me == 0 {
+            let mut out = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    out[i * n + j] = psi.get(p, i, j);
+                }
+            }
+            *result.lock().unwrap() = out;
+        }
+    });
+
+    let out = result.into_inner().unwrap();
+    let want = reference(params);
+    assert_close_slice(&out, &want, 1e-12, "Ocean psi");
+    AppResult {
+        stats,
+        checksum: checksum_f64s(out.into_iter()),
+    }
+}
+
+/// Run Ocean at a scale preset.
+pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: OceanVersion) -> AppResult {
+    run_params(platform, nprocs, &OceanParams::at(scale), version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OceanParams {
+        OceanParams {
+            n: 16,
+            steps: 1,
+            sweeps: 2,
+        }
+    }
+
+    #[test]
+    fn colours_partition_interior() {
+        // Every interior cell is updated exactly once per half-sweep pair.
+        let n = 10;
+        let mut count = vec![0u32; n * n];
+        for colour in 0..2usize {
+            for i in 1..n - 1 {
+                let c0 = 1;
+                let jstart = c0 + ((colour + i + c0) % 2);
+                let mut j = jstart;
+                while j <= n - 2 {
+                    count[i * n + j] += 1;
+                    j += 2;
+                }
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                assert_eq!(count[i * n + j], 1, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_versions_match_reference_on_svm() {
+        for v in [
+            OceanVersion::Orig2d,
+            OceanVersion::PadAlign,
+            OceanVersion::Contig4d,
+            OceanVersion::RowWise,
+        ] {
+            let r = run_params(Platform::Svm, 4, &tiny(), v);
+            assert!(r.stats.total_cycles() > 0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn rowwise_matches_on_all_platforms() {
+        let a = run_params(Platform::Svm, 2, &tiny(), OceanVersion::RowWise);
+        let b = run_params(Platform::Dsm, 2, &tiny(), OceanVersion::RowWise);
+        let c = run_params(Platform::Smp, 2, &tiny(), OceanVersion::RowWise);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn uniprocessor_works() {
+        let r = run_params(Platform::Svm, 1, &tiny(), OceanVersion::Orig2d);
+        assert!(r.stats.total_cycles() > 0);
+    }
+
+    #[test]
+    fn partitions_tile_the_interior() {
+        for version in [OceanVersion::Orig2d, OceanVersion::RowWise] {
+            let n = 32;
+            let nprocs = 4;
+            let mut seen = vec![false; n * n];
+            for pid in 0..nprocs {
+                let pt = partition(version, n, nprocs, pid);
+                for i in pt.r0..=pt.r1 {
+                    for j in pt.c0..=pt.c1 {
+                        assert!(!seen[i * n + j], "{version:?}: overlap at ({i},{j})");
+                        seen[i * n + j] = true;
+                    }
+                }
+            }
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    assert!(seen[i * n + j], "{version:?}: hole at ({i},{j})");
+                }
+            }
+        }
+    }
+}

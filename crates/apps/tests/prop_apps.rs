@@ -1,0 +1,116 @@
+//! Property-based tests over the application suite: layout bijectivity,
+//! partition tilings, workload-generator invariants, and end-to-end sorts
+//! with randomized inputs.
+
+use apps::common::Platform;
+use apps::radix::{self, RadixParams, RadixVersion};
+use apps::shearwarp::{self, Geom};
+use apps::volrend::{self, VolrendParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rle_round_trips_arbitrary_volumes(
+        v in prop::sample::select(vec![8usize, 12, 16]),
+        seed in any::<u64>(),
+        density in 0.0f64..1.0,
+    ) {
+        // Random volume with the requested occupancy.
+        let mut rng = sim_core::util::XorShift64::new(seed);
+        let mut vol = vec![0u8; v * v * v];
+        for b in vol.iter_mut() {
+            if rng.f64() < density {
+                *b = 1 + (rng.next_u64() % 255) as u8;
+            }
+        }
+        let rle = shearwarp::encode(&vol, v);
+        for z in 0..v {
+            for y in 0..v {
+                let (r0, rc, v0) = rle.index[z * v + y];
+                let mut row = vec![0u8; v];
+                let mut x = 0usize;
+                let mut vi = v0 as usize;
+                for r in r0..r0 + rc {
+                    let run = rle.runs[r as usize];
+                    x += (run >> 16) as usize;
+                    for _ in 0..(run & 0xffff) {
+                        row[x] = rle.vox[vi];
+                        x += 1;
+                        vi += 1;
+                    }
+                }
+                prop_assert_eq!(&row[..], &vol[(z * v + y) * v..(z * v + y + 1) * v]);
+            }
+        }
+    }
+
+    #[test]
+    fn shearwarp_geometry_keeps_shifts_in_bounds(v in 8usize..128) {
+        let g = Geom::new(v);
+        for z in 0..v {
+            let (sx, sy) = g.shift(z);
+            for y in 0..v {
+                let u = y as i64 + g.my as i64 + sy;
+                prop_assert!(u >= 0 && (u as usize) < g.iy, "row out of bounds");
+            }
+            for x in 0..v {
+                let xi = x as i64 + g.mx as i64 + sx;
+                prop_assert!(xi >= 0 && (xi as usize) < g.ix, "col out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_zrange_is_tight(seed in any::<u64>()) {
+        let params = VolrendParams {
+            v: 16,
+            frames: 1,
+            term: 0.95,
+            seed,
+        };
+        let vol = volrend::generate_volume(&params);
+        let zr = volrend::zrange_map(&vol, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let (lo, hi) = zr[y * 16 + x];
+                for z in 0..16 {
+                    let d = vol[(z * 16 + y) * 16 + x];
+                    if d != 0 {
+                        prop_assert!(
+                            (lo as usize) <= z && z < hi as usize,
+                            "occupied voxel outside range"
+                        );
+                    }
+                }
+                if lo as usize <= 15 && (lo as usize) < (hi as usize) {
+                    // Range endpoints are occupied (tightness).
+                    prop_assert!(vol[((lo as usize) * 16 + y) * 16 + x] != 0);
+                    prop_assert!(vol[((hi as usize - 1) * 16 + y) * 16 + x] != 0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // End-to-end simulated sorts: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn radix_sorts_arbitrary_seeds(
+        seed in any::<u64>(),
+        nprocs in prop::sample::select(vec![1usize, 2, 4]),
+        version in prop::sample::select(vec![RadixVersion::Orig, RadixVersion::LocalBuffer]),
+    ) {
+        let params = RadixParams {
+            n: 1 << 10,
+            passes: 2,
+            seed,
+        };
+        // run_params panics internally if the output is not sorted.
+        let r = radix::run_params(Platform::Svm, nprocs, &params, version);
+        prop_assert!(r.stats.total_cycles() > 0);
+    }
+}

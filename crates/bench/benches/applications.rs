@@ -1,0 +1,42 @@
+//! End-to-end application runs at test scale: simulator throughput per
+//! whole simulated execution (build/verify included).
+use apps::{App, AppSpec, OptClass, Platform, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_test_scale");
+    g.sample_size(10);
+    for app in [App::Lu, App::Ocean, App::Barnes, App::Radix] {
+        for pf in [Platform::Svm, Platform::Dsm] {
+            g.bench_function(format!("{}_{}", app.name(), pf.name()), |b| {
+                let spec = AppSpec {
+                    app,
+                    class: OptClass::Orig,
+                };
+                b.iter(|| spec.run(pf, 4, Scale::Test))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_figures_smoke(c: &mut Criterion) {
+    // One figure-style sweep at test scale: how long a harness run costs.
+    let mut g = c.benchmark_group("figure_smoke");
+    g.sample_size(10);
+    g.bench_function("fig2_row_lu", |b| {
+        b.iter(|| {
+            let spec = AppSpec {
+                app: App::Lu,
+                class: OptClass::Orig,
+            };
+            let base = spec.run(Platform::Svm, 1, Scale::Test).total_cycles();
+            let par = spec.run(Platform::Svm, 4, Scale::Test).total_cycles();
+            base as f64 / par as f64
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_figures_smoke);
+criterion_main!(benches);

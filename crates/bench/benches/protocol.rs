@@ -1,0 +1,71 @@
+//! HLRC data-plane micro-benchmarks.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim_core::cache::{Cache, CacheGeom, LineState};
+use sim_core::Resource;
+use svm_hlrc::Diff;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    let twin = vec![0u8; 4096];
+    // Scattered: every 16th word differs.
+    let mut scattered = twin.clone();
+    for i in (0..4096).step_by(64) {
+        scattered[i] = 1;
+    }
+    // Contiguous: first quarter differs.
+    let mut contiguous = twin.clone();
+    for b in contiguous.iter_mut().take(1024) {
+        *b = 1;
+    }
+    g.bench_function("create_scattered", |b| {
+        b.iter(|| Diff::create(black_box(&twin), black_box(&scattered)))
+    });
+    g.bench_function("create_contiguous", |b| {
+        b.iter(|| Diff::create(black_box(&twin), black_box(&contiguous)))
+    });
+    let d = Diff::create(&twin, &contiguous);
+    g.bench_function("apply", |b| {
+        let mut target = twin.clone();
+        b.iter(|| d.apply(black_box(&mut target)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let geom = CacheGeom {
+        size: 512 << 10,
+        line: 32,
+        ways: 2,
+    };
+    g.bench_function("hit", |b| {
+        let mut cache = Cache::new(geom);
+        cache.fill(0x1000_0000, LineState::Exclusive);
+        b.iter(|| cache.access(black_box(0x1000_0000), false))
+    });
+    g.bench_function("streaming_misses", |b| {
+        let mut cache = Cache::new(geom);
+        let mut a = 0x1000_0000u64;
+        b.iter(|| {
+            a += 32;
+            let r = cache.access(black_box(a), true);
+            cache.fill(a, LineState::Modified);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_resource(c: &mut Criterion) {
+    c.bench_function("resource_serve", |b| {
+        let mut r = Resource::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            r.serve(black_box(t), 7)
+        })
+    });
+}
+
+criterion_group!(benches, bench_diff, bench_cache, bench_resource);
+criterion_main!(benches);

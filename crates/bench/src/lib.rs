@@ -1,0 +1,25 @@
+//! Benchmark support crate. The actual benchmarks live in `benches/`:
+//!
+//! * `protocol` — HLRC data-plane primitives: diff creation/application,
+//!   cache tag lookups, resource arbitration.
+//! * `simulator` — scheduler hand-off latency, lock round-trips, barrier
+//!   episodes on each platform.
+//! * `applications` — small end-to-end application runs per platform
+//!   (these measure *simulator throughput*, i.e. wall-clock per simulated
+//!   run, not application performance — that is what the `figures`
+//!   binaries report in virtual cycles).
+
+/// Convenience: a boxed SVM platform at the paper's configuration.
+pub fn svm(n: usize) -> Box<dyn sim_core::Platform> {
+    svm_hlrc::SvmPlatform::boxed(svm_hlrc::SvmConfig::paper(n))
+}
+
+/// Convenience: a boxed CC-NUMA platform at the paper's configuration.
+pub fn dsm(n: usize) -> Box<dyn sim_core::Platform> {
+    cc_numa::DsmPlatform::boxed(cc_numa::DsmConfig::paper(n))
+}
+
+/// Convenience: a boxed SMP platform at the paper's configuration.
+pub fn smp(n: usize) -> Box<dyn sim_core::Platform> {
+    smp_bus::SmpPlatform::boxed(smp_bus::SmpConfig::paper(n))
+}

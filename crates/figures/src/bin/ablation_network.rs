@@ -1,0 +1,34 @@
+//! Ablation: interconnect speed. The paper's conclusions depend on SVM's
+//! high communication costs; this sweep shows how much a faster network
+//! closes the gap (and how much a slower one widens it).
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Ablation: SVM network cost",
+        "speedups of original vs restructured versions as network costs scale",
+        "restructuring matters most when communication is expensive; a \
+         4x-faster network helps the originals more than the optimized codes",
+    );
+    let mut r = Runner::new();
+    println!(
+        "{:<12} {:<6} {:>8} {:>8} {:>8}",
+        "App", "ver", "25%", "100%", "400%"
+    );
+    for app in [App::Ocean, App::Barnes] {
+        for class in [OptClass::Orig, OptClass::Algorithm] {
+            print!("{:<12} {:<6}", app.name(), class.label());
+            for pct in [25u16, 100, 400] {
+                let pf = Platform::SvmTuned {
+                    page_shift: 12,
+                    net_scale_pct: pct,
+                };
+                let s = r.speedup(app, class, pf, opts);
+                print!(" {s:>8.2}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation: protocol page size. The paper's whole subject is the
+//! interaction of access patterns with 4 KB pages; this sweep shows how the
+//! key applications respond as the coherence unit shrinks toward cache-line
+//! grain or grows.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Ablation: SVM page size",
+        "speedups of the original applications vs protocol page size",
+        "smaller pages reduce false sharing and fragmentation but raise the \
+         per-byte protocol overhead; 4 KB is the paper's operating point",
+    );
+    let mut r = Runner::new();
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "App", "1KB", "2KB", "4KB", "8KB"
+    );
+    for app in [App::Lu, App::Ocean, App::Radix, App::Barnes] {
+        print!("{:<12}", app.name());
+        for shift in [10u8, 11, 12, 13] {
+            let pf = Platform::SvmTuned {
+                page_shift: shift,
+                net_scale_pct: 100,
+            };
+            let s = r.speedup(app, OptClass::Orig, pf, opts);
+            print!(" {s:>8.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's §4.2.4 narrative: Barnes through its four tree-building
+//! algorithms on SVM (paper speedups 2.76 → 2.94 → 5.56 → 5.65 → 10.5,
+//! with tree-build falling from ~43% to ~30% and below).
+use apps::barnes::{self, phase, BarnesVersion};
+use apps::Platform;
+use figures::{header, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Barnes algorithms (paper §4.2.4)",
+        "tree-building algorithm trajectory on SVM",
+        "SPLASH 2.76 -> local heaps 2.94 -> Update-Tree 5.56 -> Partree 5.65 \
+         -> Barnes-Spatial 10.5; tree build takes 43% under SVM vs ~2% \
+         sequentially",
+    );
+    let base = barnes::run(Platform::Svm, 1, opts.scale, BarnesVersion::SharedTree)
+        .stats
+        .total_cycles();
+    println!(
+        "{:<14} {:>8} {:>12} {:>10}",
+        "version", "speedup", "tree-build%", "locks"
+    );
+    for v in [
+        BarnesVersion::SharedTree,
+        BarnesVersion::LocalHeaps,
+        BarnesVersion::UpdateTree,
+        BarnesVersion::Partree,
+        BarnesVersion::Spatial,
+    ] {
+        let st = barnes::run(Platform::Svm, opts.nprocs, opts.scale, v).stats;
+        println!(
+            "{:<14} {:>8.2} {:>11.0}% {:>10}",
+            format!("{v:?}"),
+            base as f64 / st.total_cycles() as f64,
+            100.0 * st.phase_fraction(phase::TREE_BUILD),
+            st.sum_counters().lock_acquires,
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 2: speedups of the original applications across the three
+//! shared-address-space multiprocessors.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Figure 2",
+        "Speedups for the original versions across the platforms",
+        "all applications run well on SMP/DSM; on SVM many are poor and \
+         LU, Ocean and Raytrace fall below 1x",
+    );
+    let mut r = Runner::new();
+    println!("{:<12} {:>8} {:>8} {:>8}", "App", "SVM", "SMP", "DSM");
+    for app in App::ALL {
+        print!("{:<12}", app.name());
+        for pf in Platform::ALL {
+            let s = r.speedup(app, OptClass::Orig, pf, opts);
+            print!(" {s:>8.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 3: execution time breakdown of the LU contiguous (4-d) version
+//! without padding/alignment, on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 3",
+        "LU contiguous version without padding/alignment (SVM, per-processor)",
+        "one processor (the barrier manager) shows much higher data wait \
+         time; unaligned blocks share pages across owners",
+        App::Lu,
+        OptClass::DataStruct,
+        Platform::Svm,
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 4: execution time breakdown of the Ocean contiguous (4-d) version
+//! on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 4",
+        "Ocean contiguous (4-d) version (SVM, per-processor)",
+        "barrier time is high; data wait is high and imbalanced — interior \
+         processors with two column-oriented boundaries fetch ~2x the pages",
+        App::Ocean,
+        OptClass::DataStruct,
+        Platform::Svm,
+    );
+}

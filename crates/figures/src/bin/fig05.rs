@@ -1,0 +1,14 @@
+//! Figure 5: execution time breakdown of the Ocean row-wise version on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 5",
+        "Ocean row-wise version (SVM, per-processor)",
+        "data communication is balanced and no longer a major bottleneck; \
+         the remaining cost is barriers (speedup 8.5 -> 13.2 in the paper)",
+        App::Ocean,
+        OptClass::Algorithm,
+        Platform::Svm,
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 6: execution time breakdown of Volrend (SPLASH-2 version) on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 6",
+        "Volrend SPLASH-2 version (SVM, per-processor)",
+        "data communication and lock-based synchronization dominate: \
+         stealing-induced locks are dilated by page faults inside critical \
+         sections",
+        App::Volrend,
+        OptClass::Orig,
+        Platform::Svm,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 7: Volrend with the balanced task partition, stealing enabled.
+use apps::volrend::{self, VolrendVersion};
+use apps::Platform;
+use figures::{breakdown_table, header, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Figure 7",
+        "Volrend with balanced task partitioning and stealing (SVM)",
+        "computation more balanced, stealing reduced, lock wait down \
+         (paper speedup 11.42)",
+    );
+    let base = volrend::run(Platform::Svm, 1, opts.scale, VolrendVersion::Orig)
+        .stats
+        .total_cycles();
+    let st = volrend::run(Platform::Svm, opts.nprocs, opts.scale, VolrendVersion::Balanced).stats;
+    println!("{}", breakdown_table(&st));
+    println!("speedup vs uniprocessor original: {:.2}", base as f64 / st.total_cycles() as f64);
+}

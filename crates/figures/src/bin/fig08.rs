@@ -1,0 +1,27 @@
+//! Figure 8: Volrend with the balanced task partition, no stealing.
+use apps::Platform;
+use apps::volrend::{self, VolrendVersion};
+use figures::{breakdown_table, header, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Figure 8",
+        "Volrend with balanced task partitioning, no stealing (SVM)",
+        "lock wait nearly gone; the dominant overhead moves to barrier wait \
+         (load imbalance) — and overall performance improves a little \
+         (paper speedup 11.70)",
+    );
+    let base = volrend::run(Platform::Svm, 1, opts.scale, VolrendVersion::Orig)
+        .stats
+        .total_cycles();
+    let st = volrend::run(
+        Platform::Svm,
+        opts.nprocs,
+        opts.scale,
+        VolrendVersion::BalancedNoSteal,
+    )
+    .stats;
+    println!("{}", breakdown_table(&st));
+    println!("speedup vs uniprocessor original: {:.2}", base as f64 / st.total_cycles() as f64);
+}

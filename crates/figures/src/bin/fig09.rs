@@ -1,0 +1,15 @@
+//! Figure 9: execution time breakdown of the original Shear-Warp on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 9",
+        "Original Shear-Warp (SVM, per-processor)",
+        "high data communication (inter-phase redistribution of the \
+         intermediate image) and high, imbalanced barrier wait from \
+         contention",
+        App::ShearWarp,
+        OptClass::Orig,
+        Platform::Svm,
+    );
+}

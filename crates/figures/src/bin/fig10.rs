@@ -1,0 +1,14 @@
+//! Figure 10: execution time breakdown of the optimized Shear-Warp on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 10",
+        "Optimized (repartitioned) Shear-Warp (SVM, per-processor)",
+        "redistribution eliminated; inter-phase barrier removed \
+         (paper speedup 3.47 -> 9.21)",
+        App::ShearWarp,
+        OptClass::Algorithm,
+        Platform::Svm,
+    );
+}

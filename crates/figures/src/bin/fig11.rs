@@ -1,0 +1,14 @@
+//! Figure 11: execution time breakdown of SPLASH-2 Raytrace on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 11",
+        "Raytrace SPLASH-2 version (SVM, per-processor)",
+        "synchronization kills performance: the global statistics lock is \
+         taken once per ray (paper 'speedup' 0.5)",
+        App::Raytrace,
+        OptClass::Orig,
+        Platform::Svm,
+    );
+}

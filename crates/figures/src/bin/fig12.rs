@@ -1,0 +1,15 @@
+//! Figure 12: execution time breakdown of optimized Raytrace on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 12",
+        "Optimized Raytrace (statistics lock removed, split queues; SVM)",
+        "computation and data wait distributed almost evenly, except \
+         processor 0 which holds copies of the scene pages it initialized, \
+         fetches less, and so steals and does more work (paper speedup 11.72)",
+        App::Raytrace,
+        OptClass::Algorithm,
+        Platform::Svm,
+    );
+}

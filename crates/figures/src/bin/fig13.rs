@@ -1,0 +1,26 @@
+//! Figure 13: execution time breakdown of the SPLASH (shared-tree) Barnes
+//! on SVM, with per-phase shares.
+use apps::barnes::phase;
+use apps::{App, OptClass, Platform};
+use figures::{parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    figures::breakdown_figure(
+        "Figure 13",
+        "Barnes SPLASH version (shared tree with locks; SVM)",
+        "high communication and synchronization; tree building, ~2% of the \
+         uniprocessor time, takes ~43% under SVM",
+        App::Barnes,
+        OptClass::Orig,
+        Platform::Svm,
+    );
+    let mut r = Runner::new();
+    let st = r.parallel(App::Barnes, OptClass::Orig, Platform::Svm, opts);
+    println!(
+        "phase shares: tree-build {:.0}%  force {:.0}%  update {:.0}%",
+        100.0 * st.phase_fraction(phase::TREE_BUILD),
+        100.0 * st.phase_fraction(phase::FORCE),
+        100.0 * st.phase_fraction(phase::UPDATE),
+    );
+}

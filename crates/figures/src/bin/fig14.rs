@@ -1,0 +1,25 @@
+//! Figure 14: execution time breakdown of Barnes-Spatial on SVM.
+use apps::barnes::phase;
+use apps::{App, OptClass, Platform};
+use figures::{parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    figures::breakdown_figure(
+        "Figure 14",
+        "Barnes spatial version (lock-free space-partitioned build; SVM)",
+        "computation balanced; remaining bottleneck is contention-induced \
+         imbalance in data wait (paper speedup 10.5)",
+        App::Barnes,
+        OptClass::Algorithm,
+        Platform::Svm,
+    );
+    let mut r = Runner::new();
+    let st = r.parallel(App::Barnes, OptClass::Algorithm, Platform::Svm, opts);
+    println!(
+        "phase shares: tree-build {:.0}%  force {:.0}%  update {:.0}%",
+        100.0 * st.phase_fraction(phase::TREE_BUILD),
+        100.0 * st.phase_fraction(phase::FORCE),
+        100.0 * st.phase_fraction(phase::UPDATE),
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 15: execution time breakdown of SPLASH-2 Radix on SVM.
+use apps::{App, OptClass, Platform};
+
+fn main() {
+    figures::breakdown_figure(
+        "Figure 15",
+        "Radix SPLASH-2 version (SVM, per-processor)",
+        "very high barrier time; expensive, imbalanced data communication \
+         from contention — page counts are balanced, costs are not",
+        App::Radix,
+        OptClass::Orig,
+        Platform::Svm,
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 16: performance with the optimization classes (Orig, P/A, DS,
+//! Alg) across applications and platforms — the paper's summary figure.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Figure 16",
+        "Speedups with different optimization classes across platforms",
+        "optimizations are decisive on SVM, modest on DSM, near-neutral on \
+         SMP; P/A alone rarely helps; Volrend's DS step hurts; Radix stays \
+         poor everywhere",
+    );
+    let mut r = Runner::new();
+    for pf in Platform::ALL {
+        println!("\n--- {} ---", pf.name());
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8}",
+            "App", "Orig", "P/A", "DS", "Alg"
+        );
+        for app in App::ALL {
+            print!("{:<12}", app.name());
+            for class in OptClass::ALL {
+                let s = r.speedup(app, class, pf, opts);
+                print!(" {s:>8.2}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 17: Volrend with the balanced (algorithmic) partition, with and
+//! without task stealing, on SVM and on the CC-NUMA DSM.
+use apps::volrend::{self, VolrendVersion};
+use apps::Platform;
+use figures::{header, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Figure 17",
+        "Volrend (balanced partition) with and without stealing, SVM vs DSM",
+        "stealing is cheap and effective on hardware coherence but \
+         expensive on SVM: the penalty for enabling stealing is far larger \
+         on SVM than on DSM",
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>18}",
+        "Platform", "steal", "no-steal", "steal cost"
+    );
+    for pf in [Platform::Svm, Platform::Dsm] {
+        let base = volrend::run(pf, 1, opts.scale, VolrendVersion::Orig)
+            .stats
+            .total_cycles();
+        let with = volrend::run(pf, opts.nprocs, opts.scale, VolrendVersion::Balanced)
+            .stats
+            .total_cycles();
+        let without = volrend::run(
+            pf,
+            opts.nprocs,
+            opts.scale,
+            VolrendVersion::BalancedNoSteal,
+        )
+        .stats
+        .total_cycles();
+        println!(
+            "{:<10} {:>13.2}x {:>13.2}x {:>17.0}%",
+            pf.name(),
+            base as f64 / with as f64,
+            base as f64 / without as f64,
+            100.0 * (with as f64 - without as f64) / without as f64,
+        );
+    }
+}

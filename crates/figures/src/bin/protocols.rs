@@ -1,0 +1,27 @@
+//! Protocol comparison: home-based (HLRC) vs non-home-based
+//! (TreadMarks-style) lazy release consistency, on the same machine
+//! parameters and applications.
+//!
+//! The paper (§2.1.1) adopts HLRC because it "has recently been shown to
+//! equal or outperform non home-based LRC protocols" (Zhou, Iftode & Li,
+//! OSDI'96); this binary reruns that comparison on our suite.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "Protocol comparison",
+        "HLRC (home-based) vs TreadMarks-style LRC, original versions",
+        "HLRC should equal or outperform the non-home-based protocol, most \
+         visibly on multiple-writer pages (Radix, Barnes) where TMK faults \
+         pay one round trip per writer",
+    );
+    let mut r = Runner::new();
+    println!("{:<12} {:>10} {:>10} {:>10}", "App", "HLRC", "TMK", "HLRC/TMK");
+    for app in App::ALL {
+        let h = r.speedup(app, OptClass::Orig, Platform::Svm, opts);
+        let t = r.speedup(app, OptClass::Orig, Platform::Tmk, opts);
+        println!("{:<12} {:>10.2} {:>10.2} {:>9.2}x", app.name(), h, t, h / t);
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's future work (§7), implemented: "how to take advantage in the
+//! applications of the two-level communication hierarchy when SMP nodes are
+//! connected by SVM". Same 16 processors, grouped into SVM nodes of 1, 2
+//! and 4 — intra-node sharing becomes hardware-coherent, and page fetches,
+//! diffs, and synchronization messages only cross node boundaries.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
+fn main() {
+    let opts = parse_args();
+    header(
+        "SMP nodes over SVM (paper §7 future work)",
+        "original applications, 16 processors in nodes of 1 / 2 / 4",
+        "grouping processors into SMP nodes removes intra-node protocol \
+         traffic; applications whose pain is page-grained sharing benefit \
+         most",
+    );
+    let mut r = Runner::new();
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10}",
+        "App", "16x1", "8x2", "4x4", "fetch 4x4/16x1"
+    );
+    for app in [App::Lu, App::Ocean, App::Barnes, App::Radix, App::Volrend] {
+        let s1 = r.speedup(app, OptClass::Orig, Platform::Svm, opts);
+        let f1 = r
+            .parallel(app, OptClass::Orig, Platform::Svm, opts)
+            .sum_counters()
+            .remote_fetches;
+        let s2 = r.speedup(app, OptClass::Orig, Platform::SvmSmpNodes { ppn: 2 }, opts);
+        let s4 = r.speedup(app, OptClass::Orig, Platform::SvmSmpNodes { ppn: 4 }, opts);
+        let f4 = r
+            .parallel(app, OptClass::Orig, Platform::SvmSmpNodes { ppn: 4 }, opts)
+            .sum_counters()
+            .remote_fetches;
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>13.2}x",
+            app.name(),
+            s1,
+            s2,
+            s4,
+            f4 as f64 / f1.max(1) as f64
+        );
+    }
+}

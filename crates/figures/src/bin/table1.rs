@@ -1,0 +1,33 @@
+//! Table 1 (the paper's qualitative difficulty table), reproduced as
+//! structured data with our reproduction commentary.
+fn main() {
+    figures::header(
+        "Table 1",
+        "Qualitative difficulty of optimizing each application for SVM",
+        "as printed in the paper's section 6",
+    );
+    let rows = [
+        ("LU", "easy", "well known", "painful"),
+        ("Ocean", "easy", "well known", "painful"),
+        ("Volrend", "needed tools", "moderate", "easy"),
+        ("Shear-Warp", "difficult", "difficult", "difficult"),
+        ("Raytrace", "needed tools", "moderate", "easy"),
+        ("Barnes", "needed tools", "difficult", "difficult"),
+        ("Radix", "moderate", "difficult", "difficult"),
+    ];
+    println!(
+        "{:<12} {:<16} {:<16} {:<16}",
+        "Application", "Understanding", "Conceptualizing", "Implementing"
+    );
+    for (app, u, c, i) in rows {
+        println!("{app:<12} {u:<16} {c:<16} {i:<16}");
+    }
+    println!();
+    println!(
+        "Our experience reproducing them matches: the per-processor\n\
+         breakdowns (figs 3-15 binaries) were exactly the 'detailed\n\
+         simulator as performance debugging tool' the paper describes —\n\
+         Volrend's and Raytrace's lock pathologies and Barnes' tree-build\n\
+         blow-up are invisible without them."
+    );
+}

@@ -1,0 +1,73 @@
+//! Simulated shared address space addressing helpers.
+//!
+//! The simulated address space is a flat 64-bit space. The SVM platform
+//! operates at [`PAGE_SIZE`]-byte granularity (4 KB, as in the paper); the
+//! hardware platforms operate at their cache line granularity but reuse the
+//! page-granular placement map for data distribution.
+
+/// A simulated shared-address-space address (byte granularity).
+pub type Addr = u64;
+
+/// log2 of the virtual memory page size (4 KB, as in the paper's SVM system).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Virtual memory page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Base of the simulated shared heap. Nonzero so a zero `Addr` can be used
+/// as a sentinel by applications.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+
+/// Page number containing `a`.
+#[inline(always)]
+pub fn page_of(a: Addr) -> u64 {
+    a >> PAGE_SHIFT
+}
+
+/// First address of page `p`.
+#[inline(always)]
+pub fn page_base(p: u64) -> Addr {
+    p << PAGE_SHIFT
+}
+
+/// Offset of `a` within its page.
+#[inline(always)]
+pub fn page_off(a: Addr) -> usize {
+    (a & (PAGE_SIZE - 1)) as usize
+}
+
+/// Round `v` up to a multiple of `align` (which must be a power of two).
+#[inline(always)]
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math_round_trips() {
+        let a: Addr = HEAP_BASE + 5 * PAGE_SIZE + 123;
+        assert_eq!(page_base(page_of(a)) + page_off(a) as u64, a);
+        assert_eq!(page_off(page_base(page_of(a))), 0);
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(4097, 4096), 8192);
+        assert_eq!(align_up(PAGE_SIZE - 1, PAGE_SIZE), PAGE_SIZE);
+    }
+
+    #[test]
+    fn adjacent_pages_do_not_overlap() {
+        for p in 0..64u64 {
+            assert_eq!(page_of(page_base(p) + PAGE_SIZE - 1), p);
+            assert_eq!(page_of(page_base(p) + PAGE_SIZE), p + 1);
+        }
+    }
+}

@@ -1,0 +1,854 @@
+//! The cooperative, deterministic, min-virtual-time scheduler and the
+//! [`Proc`] handle applications program against.
+//!
+//! Each simulated processor is an OS thread, but exactly one thread runs at
+//! a time. The running thread performs simulated events (memory accesses,
+//! synchronization) against the shared scheduler state under a single mutex,
+//! then — at yield points — hands the turn to the runnable processor with
+//! the minimum virtual clock. Lock queueing and barrier membership are
+//! implemented here, generically; the pluggable [`Platform`] prices the
+//! protocol actions (see [`crate::platform`]).
+//!
+//! ## Determinism
+//!
+//! Every scheduling decision is a pure function of virtual state (clocks,
+//! statuses), taken by the currently running thread while holding the global
+//! mutex. Repeated runs therefore produce bit-identical statistics, which the
+//! integration tests assert.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::alloc::{GlobalAlloc, Placement};
+use crate::platform::{Platform, Timing};
+use crate::stats::{Bucket, ProcStats, RunStats};
+use crate::util::FxMap;
+use crate::Addr;
+
+/// Run-wide configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Run-ahead quantum in cycles: a processor voluntarily yields when its
+    /// clock exceeds the minimum runnable clock by more than this. Smaller
+    /// values tighten virtual-time ordering at the cost of more hand-offs.
+    pub quantum: u64,
+}
+
+impl RunConfig {
+    /// Default configuration for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        Self {
+            nprocs,
+            quantum: 2_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Running,
+    Ready,
+    Blocked,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    pid: usize,
+    arrival: u64,
+}
+
+#[derive(Default)]
+struct LockSt {
+    held_by: Option<usize>,
+    avail_at: u64,
+    waiters: Vec<Waiter>,
+}
+
+#[derive(Default)]
+struct BarSt {
+    arrivals: Vec<(usize, u64)>,
+}
+
+struct Inner {
+    platform: Box<dyn Platform>,
+    alloc: GlobalAlloc,
+    clocks: Vec<u64>,
+    stats: Vec<ProcStats>,
+    status: Vec<Status>,
+    blocked_at: Vec<u64>,
+    locks: FxMap<u32, LockSt>,
+    barriers: FxMap<u32, BarSt>,
+    start_arrivals: usize,
+    stop_arrivals: usize,
+    timing_on: bool,
+    quantum: u64,
+    ndone: usize,
+    poisoned: Option<String>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cvs: Vec<Condvar>,
+}
+
+impl Inner {
+    fn min_ready(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (pid, (&st, &clk)) in self.status.iter().zip(&self.clocks).enumerate() {
+            if st == Status::Ready && best.is_none_or(|(_, b)| clk < b) {
+                best = Some((pid, clk));
+            }
+        }
+        best
+    }
+
+    fn describe(&self) -> String {
+        let mut s = String::new();
+        for pid in 0..self.status.len() {
+            s.push_str(&format!(
+                "  p{pid}: {:?} clock={}\n",
+                self.status[pid], self.clocks[pid]
+            ));
+        }
+        s
+    }
+}
+
+/// A simulated processor handle: the API applications program against.
+///
+/// **Host-lock caveat:** every method on `Proc` may suspend the calling OS
+/// thread to schedule a different simulated processor. Never invoke a
+/// `Proc` method while holding a host-side lock (e.g. a `std::sync::Mutex`
+/// used to extract results) that another simulated processor might also
+/// take — acquire such locks only around plain host code, after the
+/// simulated values have been read into locals.
+pub struct Proc {
+    pid: usize,
+    nprocs: usize,
+    shared: Arc<Shared>,
+}
+
+impl Proc {
+    /// This processor's id (0-based).
+    #[inline(always)]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Total number of simulated processors.
+    #[inline(always)]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Charge `cycles` of application compute time.
+    #[inline]
+    pub fn work(&mut self, cycles: u64) {
+        let mut g = self.shared.inner.lock();
+        if g.timing_on {
+            g.clocks[self.pid] += cycles;
+            let pid = self.pid;
+            g.stats[pid].add(Bucket::Compute, cycles);
+        }
+        self.maybe_yield(g);
+    }
+
+    /// Set the current application phase for per-phase time attribution.
+    pub fn set_phase(&mut self, phase: usize) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        g.stats[pid].set_phase(phase);
+    }
+
+    /// Allocate shared memory (bump allocation; never freed).
+    pub fn alloc_shared(&mut self, bytes: u64, align: u64, placement: Placement) -> Addr {
+        let mut g = self.shared.inner.lock();
+        g.alloc.alloc(bytes, align, placement, self.pid)
+    }
+
+    /// Load `len` (1/2/4/8) bytes from the simulated shared address space.
+    #[inline]
+    pub fn load(&mut self, addr: Addr, len: u8) -> u64 {
+        let mut g = self.shared.inner.lock();
+        let inner = &mut *g;
+        let v = {
+            let mut t = Timing {
+                pid: self.pid,
+                now: &mut inner.clocks[self.pid],
+                stats: &mut inner.stats[self.pid],
+                placement: inner.alloc.map(),
+                timing_on: inner.timing_on,
+            };
+            inner.platform.load(&mut t, addr, len)
+        };
+        self.maybe_yield(g);
+        v
+    }
+
+    /// Store the low `len` bytes of `val` to the simulated address space.
+    #[inline]
+    pub fn store(&mut self, addr: Addr, len: u8, val: u64) {
+        let mut g = self.shared.inner.lock();
+        let inner = &mut *g;
+        {
+            let mut t = Timing {
+                pid: self.pid,
+                now: &mut inner.clocks[self.pid],
+                stats: &mut inner.stats[self.pid],
+                placement: inner.alloc.map(),
+                timing_on: inner.timing_on,
+            };
+            inner.platform.store(&mut t, addr, len, val);
+        }
+        self.maybe_yield(g);
+    }
+
+    /// Convenience: load an `f64`.
+    #[inline]
+    pub fn read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.load(addr, 8))
+    }
+
+    /// Convenience: store an `f64`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.store(addr, 8, v.to_bits());
+    }
+
+    /// Convenience: load a `u32`.
+    #[inline]
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        self.load(addr, 4) as u32
+    }
+
+    /// Convenience: store a `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.store(addr, 4, v as u64);
+    }
+
+    /// Acquire lock `id` (blocking in virtual time).
+    pub fn lock(&mut self, id: u32) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        let inner = &mut *g;
+        inner.stats[pid].counters.lock_acquires += 1;
+        let arrival = {
+            let mut t = Timing {
+                pid,
+                now: &mut inner.clocks[pid],
+                stats: &mut inner.stats[pid],
+                placement: inner.alloc.map(),
+                timing_on: inner.timing_on,
+            };
+            inner.platform.acquire_request(&mut t, id)
+        };
+        let lk = inner.locks.entry(id).or_default();
+        if lk.held_by.is_none() && lk.waiters.is_empty() {
+            lk.held_by = Some(pid);
+            let grant_at = lk.avail_at.max(arrival);
+            let timing_on = inner.timing_on;
+            let resume = inner.platform.acquire_grant(
+                pid,
+                id,
+                grant_at,
+                &mut inner.stats[pid],
+                inner.alloc.map(),
+                timing_on,
+            );
+            if inner.timing_on && resume > inner.clocks[pid] {
+                let d = resume - inner.clocks[pid];
+                inner.stats[pid].add(Bucket::LockWait, d);
+                inner.clocks[pid] = resume;
+            }
+            drop(g);
+        } else {
+            lk.waiters.push(Waiter { pid, arrival });
+            inner.blocked_at[pid] = inner.clocks[pid];
+            self.block(g);
+        }
+    }
+
+    /// Release lock `id`, granting it to the earliest-arrived waiter if any.
+    pub fn unlock(&mut self, id: u32) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        let inner = &mut *g;
+        let avail = {
+            let mut t = Timing {
+                pid,
+                now: &mut inner.clocks[pid],
+                stats: &mut inner.stats[pid],
+                placement: inner.alloc.map(),
+                timing_on: inner.timing_on,
+            };
+            inner.platform.release(&mut t, id)
+        };
+        let lk = inner
+            .locks
+            .get_mut(&id)
+            .expect("unlock of never-locked lock");
+        assert_eq!(lk.held_by, Some(pid), "unlock by non-holder p{pid}");
+        lk.held_by = None;
+        lk.avail_at = avail;
+        if !lk.waiters.is_empty() {
+            // Earliest virtual arrival wins; pid breaks ties deterministically.
+            let mut best = 0;
+            for (i, w) in lk.waiters.iter().enumerate() {
+                let b = &lk.waiters[best];
+                if (w.arrival, w.pid) < (b.arrival, b.pid) {
+                    best = i;
+                }
+            }
+            let w = lk.waiters.swap_remove(best);
+            lk.held_by = Some(w.pid);
+            let grant_at = avail.max(w.arrival);
+            let timing_on = inner.timing_on;
+            let resume = inner.platform.acquire_grant(
+                w.pid,
+                id,
+                grant_at,
+                &mut inner.stats[w.pid],
+                inner.alloc.map(),
+                timing_on,
+            );
+            let resume = resume.max(inner.blocked_at[w.pid]);
+            if inner.timing_on {
+                let waited = resume - inner.blocked_at[w.pid];
+                inner.stats[w.pid].add(Bucket::LockWait, waited);
+            }
+            inner.clocks[w.pid] = resume;
+            inner.status[w.pid] = Status::Ready;
+        }
+        self.maybe_yield(g);
+    }
+
+    /// Wait at barrier `id` until all processors arrive.
+    pub fn barrier(&mut self, id: u32) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        let nprocs = self.nprocs;
+        let inner = &mut *g;
+        inner.stats[pid].counters.barriers += 1;
+        let t_arr = {
+            let mut t = Timing {
+                pid,
+                now: &mut inner.clocks[pid],
+                stats: &mut inner.stats[pid],
+                placement: inner.alloc.map(),
+                timing_on: inner.timing_on,
+            };
+            inner.platform.barrier_arrive(&mut t, id)
+        };
+        inner.blocked_at[pid] = inner.clocks[pid];
+        let bar = inner.barriers.entry(id).or_default();
+        bar.arrivals.push((pid, t_arr));
+        if bar.arrivals.len() == nprocs {
+            let mut arr = vec![0u64; nprocs];
+            for &(p, a) in bar.arrivals.iter() {
+                arr[p] = a;
+            }
+            bar.arrivals.clear();
+            let timing_on = inner.timing_on;
+            let resumes = inner.platform.barrier_release(
+                id,
+                &arr,
+                &mut inner.stats,
+                inner.alloc.map(),
+                timing_on,
+            );
+            debug_assert_eq!(resumes.len(), nprocs);
+            for q in 0..nprocs {
+                let resume = resumes[q].max(inner.blocked_at[q]);
+                if inner.timing_on {
+                    let waited = resume - inner.blocked_at[q];
+                    inner.stats[q].add(Bucket::BarrierWait, waited);
+                }
+                inner.clocks[q] = resume;
+                if q != pid {
+                    debug_assert_eq!(inner.status[q], Status::Blocked);
+                    inner.status[q] = Status::Ready;
+                }
+            }
+            self.maybe_yield(g);
+        } else {
+            self.block(g);
+        }
+    }
+
+    /// Synchronize all processors, then reset clocks, statistics and
+    /// platform resource state: the start of the timed region. Protocol and
+    /// cache *state* is preserved (warm start, as in the paper).
+    pub fn start_timing(&mut self) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        let nprocs = self.nprocs;
+        g.start_arrivals += 1;
+        if g.start_arrivals == nprocs {
+            g.start_arrivals = 0;
+            g.platform.reset_timing();
+            g.timing_on = true;
+            for q in 0..nprocs {
+                g.clocks[q] = 0;
+                g.blocked_at[q] = 0;
+                g.stats[q].reset();
+                if q != pid && g.status[q] == Status::Blocked {
+                    g.status[q] = Status::Ready;
+                }
+            }
+            drop(g);
+        } else {
+            g.blocked_at[pid] = g.clocks[pid];
+            self.block(g);
+        }
+    }
+
+    /// Synchronize all processors and freeze clocks and statistics: the end
+    /// of the timed region. Use before reading results out of simulated
+    /// memory so the extraction does not pollute the measurements.
+    pub fn stop_timing(&mut self) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        let nprocs = self.nprocs;
+        g.stop_arrivals += 1;
+        if g.stop_arrivals == nprocs {
+            g.stop_arrivals = 0;
+            // Settle everyone at the maximum clock (a barrier in effect),
+            // then freeze.
+            let max = g.clocks.iter().copied().max().unwrap_or(0);
+            for q in 0..nprocs {
+                if g.timing_on {
+                    let d = max - g.clocks[q];
+                    g.clocks[q] = max;
+                    g.stats[q].add(Bucket::BarrierWait, d);
+                }
+                if q != pid && g.status[q] == Status::Blocked {
+                    g.status[q] = Status::Ready;
+                }
+            }
+            g.timing_on = false;
+            drop(g);
+        } else {
+            g.blocked_at[pid] = g.clocks[pid];
+            self.block(g);
+        }
+    }
+
+    /// True while the timed region is active.
+    pub fn timing_on(&self) -> bool {
+        self.shared.inner.lock().timing_on
+    }
+
+    /// Current virtual clock (cycles).
+    pub fn now(&self) -> u64 {
+        self.shared.inner.lock().clocks[self.pid]
+    }
+
+    // ---- scheduling internals ----
+
+    /// Hand the turn over if some runnable processor has fallen more than a
+    /// quantum behind this one.
+    #[inline]
+    fn maybe_yield(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+        let pid = self.pid;
+        let quantum = g.quantum;
+        if let Some((next, clk)) = g.min_ready() {
+            if g.clocks[pid] > clk + quantum {
+                g.status[pid] = Status::Ready;
+                g.status[next] = Status::Running;
+                self.shared.cvs[next].notify_one();
+                self.wait_for_turn(g);
+                return;
+            }
+        }
+        drop(g);
+    }
+
+    /// Unconditionally give up the turn and block until woken and scheduled.
+    fn block(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+        let pid = self.pid;
+        g.status[pid] = Status::Blocked;
+        self.dispatch_next(&mut g);
+        self.wait_for_turn(g);
+    }
+
+    /// Pick and wake the next runnable processor (caller already gave up the
+    /// turn). Panics on deadlock.
+    fn dispatch_next(&self, g: &mut parking_lot::MutexGuard<'_, Inner>) {
+        if let Some((next, _)) = g.min_ready() {
+            g.status[next] = Status::Running;
+            self.shared.cvs[next].notify_one();
+        } else if g.ndone < g.status.len() {
+            let all_done_or_blocked = g
+                .status
+                .iter()
+                .all(|&s| s == Status::Blocked || s == Status::Done);
+            if all_done_or_blocked {
+                let msg = format!(
+                    "simulated deadlock: no runnable processor\n{}",
+                    g.describe()
+                );
+                g.poisoned = Some(msg.clone());
+                for cv in &self.shared.cvs {
+                    cv.notify_one();
+                }
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// Park until scheduled (status == Running) or the run is poisoned.
+    fn wait_for_turn(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+        let pid = self.pid;
+        loop {
+            if let Some(msg) = &g.poisoned {
+                let msg = msg.clone();
+                drop(g);
+                panic!("{msg}");
+            }
+            if g.status[pid] == Status::Running {
+                return;
+            }
+            self.shared.cvs[pid].wait(&mut g);
+        }
+    }
+
+    /// Called when the body returns: mark Done and dispatch.
+    fn finish(&self) {
+        let mut g = self.shared.inner.lock();
+        let pid = self.pid;
+        g.status[pid] = Status::Done;
+        g.ndone += 1;
+        self.dispatch_next(&mut g);
+    }
+}
+
+/// Execute `body` on `cfg.nprocs` simulated processors over `platform` and
+/// return the per-processor statistics of the timed region.
+///
+/// The body is invoked once per processor. The conventional shape is:
+///
+/// ```text
+/// if p.pid() == 0 { allocate + initialize shared data }
+/// p.barrier(INIT_BARRIER);
+/// p.start_timing();
+/// ... parallel computation ...
+/// p.barrier(FINAL_BARRIER);
+/// ```
+pub fn run<F>(platform: Box<dyn Platform>, cfg: RunConfig, body: F) -> RunStats
+where
+    F: Fn(&mut Proc) + Sync,
+{
+    run_profiled(platform, cfg, body).0
+}
+
+/// Like [`run`], but also returns the platform's diagnostic report (see
+/// [`Platform::profile`]) gathered at the end of the run.
+pub fn run_profiled<F>(
+    platform: Box<dyn Platform>,
+    cfg: RunConfig,
+    body: F,
+) -> (RunStats, Option<String>)
+where
+    F: Fn(&mut Proc) + Sync,
+{
+    let nprocs = cfg.nprocs;
+    assert_eq!(
+        platform.nprocs(),
+        nprocs,
+        "platform and RunConfig disagree on processor count"
+    );
+    assert!(nprocs >= 1);
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            platform,
+            alloc: GlobalAlloc::new(nprocs),
+            clocks: vec![0; nprocs],
+            stats: vec![ProcStats::default(); nprocs],
+            status: {
+                let mut v = vec![Status::Ready; nprocs];
+                v[0] = Status::Running;
+                v
+            },
+            blocked_at: vec![0; nprocs],
+            locks: FxMap::default(),
+            barriers: FxMap::default(),
+            start_arrivals: 0,
+            stop_arrivals: 0,
+            timing_on: false,
+            quantum: cfg.quantum,
+            ndone: 0,
+            poisoned: None,
+        }),
+        cvs: (0..nprocs).map(|_| Condvar::new()).collect(),
+    });
+
+    crossbeam::thread::scope(|s| {
+        for pid in 0..nprocs {
+            let shared = Arc::clone(&shared);
+            let body = &body;
+            s.builder()
+                .name(format!("simproc-{pid}"))
+                .stack_size(16 << 20)
+                .spawn(move |_| {
+                    let mut proc = Proc {
+                        pid,
+                        nprocs,
+                        shared,
+                    };
+                    // Wait to be scheduled for the first time.
+                    {
+                        let g = proc.shared.inner.lock();
+                        proc.wait_for_turn(g);
+                    }
+                    // A panic inside a simulated processor (e.g. an
+                    // application assertion) must not strand the other
+                    // parked threads: poison the run so everyone unwinds.
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| body(&mut proc)),
+                    );
+                    match result {
+                        Ok(()) => proc.finish(),
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| {
+                                    payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                })
+                                .unwrap_or_else(|| "simulated processor panicked".into());
+                            let mut g = proc.shared.inner.lock();
+                            if g.poisoned.is_none() {
+                                g.poisoned = Some(format!("p{pid}: {msg}"));
+                            }
+                            for cv in proc.shared.cvs.iter() {
+                                cv.notify_one();
+                            }
+                            drop(g);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("spawn simulated processor");
+        }
+    })
+    .expect("simulated processor panicked");
+
+    let inner = Arc::try_unwrap(shared)
+        .ok()
+        .expect("all processor threads exited")
+        .inner
+        .into_inner();
+    let profile = inner.platform.profile();
+    (
+        RunStats {
+            procs: inner.stats,
+            clocks: inner.clocks,
+        },
+        profile,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::NullPlatform;
+    use crate::HEAP_BASE;
+
+    fn null_run<F: Fn(&mut Proc) + Sync>(n: usize, f: F) -> RunStats {
+        run(Box::new(NullPlatform::new(n)), RunConfig::new(n), f)
+    }
+
+    #[test]
+    fn single_proc_runs_to_completion() {
+        let stats = null_run(1, |p| {
+            p.start_timing();
+            p.work(100);
+        });
+        assert_eq!(stats.total_cycles(), 100);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let stats = null_run(4, |p| {
+            p.start_timing();
+            p.work((p.pid() as u64 + 1) * 100);
+            p.barrier(0);
+        });
+        // All procs resume at the max arrival (400).
+        for c in &stats.clocks {
+            assert_eq!(*c, 400);
+        }
+        // Proc 0 waited 300 cycles at the barrier.
+        assert_eq!(stats.procs[0].get(Bucket::BarrierWait), 300);
+        assert_eq!(stats.procs[3].get(Bucket::BarrierWait), 0);
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion_in_virtual_time() {
+        // All procs increment a shared counter under a lock; final value must
+        // equal nprocs * iters, which only holds if the lock serializes.
+        let n = 8;
+        let iters = 25;
+        let stats = null_run(n, |p| {
+            p.start_timing();
+            for _ in 0..iters {
+                p.lock(7);
+                let v = p.load(HEAP_BASE, 8);
+                p.work(5);
+                p.store(HEAP_BASE, 8, v + 1);
+                p.unlock(7);
+            }
+            p.barrier(1);
+        });
+        // Re-run to read the value: instead assert via a writer-proc trick.
+        // (Value lives inside the platform; verify using observable effects:
+        // total lock acquisitions and absence of deadlock.)
+        let c = stats.sum_counters();
+        assert_eq!(c.lock_acquires, (n * iters) as u64);
+    }
+
+    #[test]
+    fn lock_serialization_result_is_correct() {
+        // Verify the final counter value via an extra read phase.
+        let n = 4;
+        let iters = 10;
+        let observed = std::sync::Mutex::new(0u64);
+        null_run(n, |p| {
+            p.start_timing();
+            for _ in 0..iters {
+                p.lock(7);
+                let v = p.load(HEAP_BASE, 8);
+                p.store(HEAP_BASE, 8, v + 1);
+                p.unlock(7);
+            }
+            p.barrier(1);
+            if p.pid() == 0 {
+                *observed.lock().unwrap() = p.load(HEAP_BASE, 8);
+            }
+        });
+        assert_eq!(*observed.lock().unwrap(), (n * iters) as u64);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let go = || {
+            null_run(6, |p| {
+                p.start_timing();
+                for i in 0..50u64 {
+                    p.work(i % 7);
+                    p.store(HEAP_BASE + 8 * (p.pid() as u64), 8, i);
+                    if i % 10 == 0 {
+                        p.lock(3);
+                        p.work(2);
+                        p.unlock(3);
+                    }
+                }
+                p.barrier(0);
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.clocks, b.clocks);
+        for (x, y) in a.procs.iter().zip(&b.procs) {
+            for bkt in Bucket::ALL {
+                assert_eq!(x.get(bkt), y.get(bkt));
+            }
+        }
+    }
+
+    #[test]
+    fn start_timing_resets_clocks_and_stats() {
+        let stats = null_run(2, |p| {
+            p.work(10_000); // before timing: ignored (timing off anyway)
+            p.barrier(9);
+            p.start_timing();
+            p.work(50);
+            p.barrier(10);
+        });
+        assert_eq!(stats.total_cycles(), 50);
+    }
+
+    #[test]
+    fn data_written_before_barrier_is_visible_after() {
+        let seen = std::sync::Mutex::new(vec![0u64; 4]);
+        null_run(4, |p| {
+            p.start_timing();
+            p.store(HEAP_BASE + 8 * p.pid() as u64, 8, 100 + p.pid() as u64);
+            p.barrier(0);
+            let neighbour = (p.pid() + 1) % 4;
+            let v = p.load(HEAP_BASE + 8 * neighbour as u64, 8);
+            seen.lock().unwrap()[p.pid()] = v;
+            p.barrier(1);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen, vec![101, 102, 103, 100]);
+    }
+
+    #[test]
+    fn contended_lock_grants_by_virtual_arrival_order() {
+        // Proc 0 grabs the lock first (it starts Running), works a long
+        // time inside, and everyone else queues. Order of grants must follow
+        // virtual arrival times, which equal request issue times here.
+        let order = std::sync::Mutex::new(Vec::new());
+        // A tight quantum keeps virtual-time ordering exact for this test.
+        let cfg = RunConfig { nprocs: 4, quantum: 10 };
+        run(Box::new(NullPlatform::new(4)), cfg, |p| {
+            p.start_timing();
+            // Stagger arrivals: pid k issues acquire at ~k*10 cycles.
+            p.work(p.pid() as u64 * 10 + 1);
+            p.lock(0);
+            order.lock().unwrap().push(p.pid());
+            p.work(1000); // long critical section forces queueing
+            p.unlock(0);
+            p.barrier(0);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn work_before_start_timing_is_free() {
+        let stats = null_run(2, |p| {
+            p.work(1_000_000);
+            p.store(HEAP_BASE, 8, 1);
+            p.start_timing();
+            p.work(10);
+            p.barrier(0);
+        });
+        assert_eq!(stats.total_cycles(), 10);
+        // The pre-timing store still took effect on state, not on stats.
+        assert_eq!(stats.sum(Bucket::Compute), 20);
+    }
+
+    #[test]
+    fn stop_timing_freezes_clock() {
+        let stats = null_run(2, |p| {
+            p.start_timing();
+            p.work(100);
+            p.stop_timing();
+            p.work(1_000_000); // untimed epilogue
+            p.load(HEAP_BASE, 8);
+        });
+        assert_eq!(stats.total_cycles(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated processor panicked")]
+    fn deadlock_is_detected() {
+        null_run(2, |p| {
+            p.start_timing();
+            if p.pid() == 0 {
+                p.lock(0);
+                p.barrier(0); // holds the lock across a barrier p1 never reaches
+            } else {
+                p.lock(0); // blocks forever
+                p.barrier(0);
+            }
+        });
+    }
+}

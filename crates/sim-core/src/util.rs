@@ -1,0 +1,160 @@
+//! Small utilities: a fast deterministic hasher for hot protocol tables and
+//! a seedable xorshift RNG used by workload generators that must not depend
+//! on global state.
+//!
+//! We re-implement the well-known Fx hash function (as used by rustc) rather
+//! than pulling in an extra dependency; protocol page tables and directories
+//! are looked up on every simulated memory access, and SipHash is measurably
+//! too slow there (see `benches/` in the `bench` crate).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (Firefox/rustc).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for integer-keyed maps.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline(always)]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// HashMap with the fast deterministic hasher.
+pub type FxMap<K2, V> = HashMap<K2, V, BuildHasherDefault<FxHasher>>;
+/// HashSet with the fast deterministic hasher.
+pub type FxSet<K2> = HashSet<K2, BuildHasherDefault<FxHasher>>;
+
+/// A tiny, seedable xorshift64* RNG. Used only for deterministic workload
+/// generation inside the simulator where pulling `rand` into the hot path is
+/// unnecessary; statistical quality is more than sufficient for workloads.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create from a nonzero seed (zero is mapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_map_behaves_like_a_map() {
+        let mut m: FxMap<u64, u64> = FxMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_covers_range() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut seen_low = false;
+        let mut seen_high = false;
+        let mut r = XorShift64::new(7);
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.1 {
+                seen_low = true;
+            }
+            if v > 0.9 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = XorShift64::new(99);
+        for n in 1..100u64 {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Typed views over the simulated shared address space.
+//!
+//! Applications manipulate shared data through these views so the data
+//! structure *layout* — the very thing the paper's restructurings change —
+//! is explicit. [`Grid2`] is a row-major 2-d array (the "non-contiguous"
+//! SPLASH-2 layout); [`Grid4`] is the blocked 4-d layout where each
+//! partition's elements are contiguous in the address space (the
+//! "contiguous" layout), with optional page alignment of partitions.
+
+use crate::addr::{align_up, Addr, PAGE_SIZE};
+use crate::sched::Proc;
+
+/// A scalar type that can live in simulated shared memory (≤ 8 bytes).
+pub trait Word: Copy {
+    /// Size in bytes (1, 2, 4 or 8).
+    const LEN: u8;
+    /// Encode into the low bytes of a u64.
+    fn to_bits64(self) -> u64;
+    /// Decode from the low bytes of a u64.
+    fn from_bits64(v: u64) -> Self;
+}
+
+macro_rules! impl_word_int {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            const LEN: u8 = std::mem::size_of::<$t>() as u8;
+            #[inline(always)]
+            fn to_bits64(self) -> u64 { self as u64 }
+            #[inline(always)]
+            fn from_bits64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_word_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_word_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Word for $t {
+            const LEN: u8 = std::mem::size_of::<$t>() as u8;
+            #[inline(always)]
+            fn to_bits64(self) -> u64 { (self as $u) as u64 }
+            #[inline(always)]
+            fn from_bits64(v: u64) -> Self { v as $u as $t }
+        }
+    )*};
+}
+impl_word_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+impl Word for f64 {
+    const LEN: u8 = 8;
+    #[inline(always)]
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_bits64(v: u64) -> Self {
+        f64::from_bits(v)
+    }
+}
+
+impl Word for f32 {
+    const LEN: u8 = 4;
+    #[inline(always)]
+    fn to_bits64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline(always)]
+    fn from_bits64(v: u64) -> Self {
+        f32::from_bits(v as u32)
+    }
+}
+
+/// A 1-d typed array in shared memory.
+#[derive(Clone, Copy, Debug)]
+pub struct GArr<T: Word> {
+    base: Addr,
+    len: usize,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Word> GArr<T> {
+    /// View `len` elements of `T` starting at `base`.
+    pub fn new(base: Addr, len: usize) -> Self {
+        Self {
+            base,
+            len,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Address of element `i`.
+    #[inline(always)]
+    pub fn addr(&self, i: usize) -> Addr {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        self.base + (i as u64) * T::LEN as u64
+    }
+
+    /// Load element `i` through the memory system.
+    #[inline(always)]
+    pub fn get(&self, p: &mut Proc, i: usize) -> T {
+        T::from_bits64(p.load(self.addr(i), T::LEN))
+    }
+
+    /// Store element `i` through the memory system.
+    #[inline(always)]
+    pub fn set(&self, p: &mut Proc, i: usize, v: T) {
+        p.store(self.addr(i), T::LEN, v.to_bits64());
+    }
+
+    /// A sub-view of `count` elements starting at `offset`.
+    pub fn slice(&self, offset: usize, count: usize) -> GArr<T> {
+        assert!(offset + count <= self.len);
+        GArr::new(self.addr_unchecked(offset), count)
+    }
+
+    #[inline(always)]
+    fn addr_unchecked(&self, i: usize) -> Addr {
+        self.base + (i as u64) * T::LEN as u64
+    }
+}
+
+/// A row-major 2-d array — the SPLASH-2 "non-contiguous" layout. Rows may be
+/// padded to `pitch` elements (pitch == cols means unpadded; the paper's P/A
+/// optimization pads rows to page multiples).
+#[derive(Clone, Copy, Debug)]
+pub struct Grid2<T: Word> {
+    arr: GArr<T>,
+    rows: usize,
+    cols: usize,
+    pitch: usize,
+}
+
+impl<T: Word> Grid2<T> {
+    /// Bytes needed for a `rows x cols` grid with row pitch `pitch`.
+    pub fn bytes(rows: usize, pitch: usize) -> u64 {
+        (rows * pitch) as u64 * T::LEN as u64
+    }
+
+    /// Pitch (elements) that pads each row to a whole number of pages.
+    pub fn page_pitch(cols: usize) -> usize {
+        (align_up((cols as u64) * T::LEN as u64, PAGE_SIZE) / T::LEN as u64) as usize
+    }
+
+    /// View a grid at `base`.
+    pub fn new(base: Addr, rows: usize, cols: usize, pitch: usize) -> Self {
+        assert!(pitch >= cols);
+        Self {
+            arr: GArr::new(base, rows * pitch),
+            rows,
+            cols,
+            pitch,
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Address of `(r, c)`.
+    #[inline(always)]
+    pub fn addr(&self, r: usize, c: usize) -> Addr {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.arr.addr(r * self.pitch + c)
+    }
+
+    /// Load `(r, c)`.
+    #[inline(always)]
+    pub fn get(&self, p: &mut Proc, r: usize, c: usize) -> T {
+        self.arr.get(p, r * self.pitch + c)
+    }
+
+    /// Store `(r, c)`.
+    #[inline(always)]
+    pub fn set(&self, p: &mut Proc, r: usize, c: usize, v: T) {
+        self.arr.set(p, r * self.pitch + c, v);
+    }
+}
+
+/// The blocked "contiguous" 4-d layout: a `rows x cols` logical grid divided
+/// into `br x bc` element blocks, with each block stored contiguously. The
+/// paper's DS optimization for LU, Ocean and the Volrend image plane.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid4<T: Word> {
+    base: Addr,
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+    blocks_per_row: usize,
+    block_stride: u64,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Word> Grid4<T> {
+    /// Bytes needed for the blocked layout. If `page_align_blocks` is set,
+    /// each block is padded to a whole number of pages (the paper's
+    /// "aligning the contiguous blocks assigned to the processors to page
+    /// boundaries").
+    pub fn bytes(rows: usize, cols: usize, br: usize, bc: usize, page_align_blocks: bool) -> u64 {
+        let bpr = cols.div_ceil(bc);
+        let bprow = rows.div_ceil(br);
+        let stride = Self::stride(br, bc, page_align_blocks);
+        (bpr * bprow) as u64 * stride
+    }
+
+    fn stride(br: usize, bc: usize, page_align_blocks: bool) -> u64 {
+        let raw = (br * bc) as u64 * T::LEN as u64;
+        if page_align_blocks {
+            align_up(raw, PAGE_SIZE)
+        } else {
+            raw
+        }
+    }
+
+    /// View a blocked grid at `base` (which must itself be page aligned when
+    /// `page_align_blocks` is used).
+    pub fn new(
+        base: Addr,
+        rows: usize,
+        cols: usize,
+        br: usize,
+        bc: usize,
+        page_align_blocks: bool,
+    ) -> Self {
+        Self {
+            base,
+            rows,
+            cols,
+            br,
+            bc,
+            blocks_per_row: cols.div_ceil(bc),
+            block_stride: Self::stride(br, bc, page_align_blocks),
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block size (rows, cols).
+    pub fn block_dims(&self) -> (usize, usize) {
+        (self.br, self.bc)
+    }
+
+    /// Address of `(r, c)` in the blocked layout.
+    #[inline(always)]
+    pub fn addr(&self, r: usize, c: usize) -> Addr {
+        debug_assert!(r < self.rows && c < self.cols);
+        let (bi, bj) = (r / self.br, c / self.bc);
+        let (ri, cj) = (r % self.br, c % self.bc);
+        self.base
+            + (bi * self.blocks_per_row + bj) as u64 * self.block_stride
+            + ((ri * self.bc + cj) as u64) * T::LEN as u64
+    }
+
+    /// Load `(r, c)`.
+    #[inline(always)]
+    pub fn get(&self, p: &mut Proc, r: usize, c: usize) -> T {
+        T::from_bits64(p.load(self.addr(r, c), T::LEN))
+    }
+
+    /// Store `(r, c)`.
+    #[inline(always)]
+    pub fn set(&self, p: &mut Proc, r: usize, c: usize, v: T) {
+        p.store(self.addr(r, c), T::LEN, v.to_bits64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_encodings_round_trip() {
+        assert_eq!(f64::from_bits64(3.25f64.to_bits64()), 3.25);
+        assert_eq!(f32::from_bits64((-7.5f32).to_bits64()), -7.5);
+        assert_eq!(i32::from_bits64((-123i32).to_bits64()), -123);
+        assert_eq!(u8::from_bits64(200u8.to_bits64()), 200);
+        assert_eq!(i64::from_bits64((-1i64).to_bits64()), -1);
+    }
+
+    #[test]
+    fn grid2_addresses_are_row_major_with_pitch() {
+        let g: Grid2<f64> = Grid2::new(0x1000_0000, 4, 3, 5);
+        assert_eq!(g.addr(0, 0), 0x1000_0000);
+        assert_eq!(g.addr(0, 2), 0x1000_0000 + 16);
+        assert_eq!(g.addr(1, 0), 0x1000_0000 + 5 * 8);
+    }
+
+    #[test]
+    fn grid4_blocks_are_contiguous() {
+        let g: Grid4<f64> = Grid4::new(0x1000_0000, 8, 8, 4, 4, false);
+        // Within block (0,0): consecutive addresses.
+        assert_eq!(g.addr(0, 1) - g.addr(0, 0), 8);
+        assert_eq!(g.addr(1, 0) - g.addr(0, 3), 8);
+        // Block (0,1) starts right after block (0,0)'s 16 elements.
+        assert_eq!(g.addr(0, 4) - g.addr(0, 0), 16 * 8);
+    }
+
+    #[test]
+    fn grid4_page_aligned_blocks() {
+        let g: Grid4<f64> = Grid4::new(0x1000_0000, 8, 8, 4, 4, true);
+        assert_eq!(g.addr(0, 4) - g.addr(0, 0), PAGE_SIZE);
+        assert_eq!(
+            Grid4::<f64>::bytes(8, 8, 4, 4, true),
+            4 * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn grid4_distinct_cells_distinct_addresses() {
+        let g: Grid4<f64> = Grid4::new(0x1000_0000, 6, 6, 4, 4, false);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..6 {
+            for c in 0..6 {
+                assert!(seen.insert(g.addr(r, c)), "duplicate address at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn page_pitch_pads_to_page() {
+        let p = Grid2::<f64>::page_pitch(100);
+        assert_eq!((p * 8) as u64 % PAGE_SIZE, 0);
+        assert!(p >= 100);
+    }
+}

@@ -1,0 +1,120 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests of the simulation substrate: the allocator never
+//! hands out overlapping or misaligned memory, the cache model agrees with
+//! a naive reference implementation, and FlatMem behaves like a byte array.
+
+use proptest::prelude::*;
+use sim_core::cache::{Cache, CacheGeom, LineState, Lookup};
+use sim_core::{FlatMem, GlobalAlloc, Placement, HEAP_BASE};
+use std::collections::HashMap;
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        (0usize..8).prop_map(Placement::Node),
+        Just(Placement::RoundRobin),
+        (1u64..16).prop_map(|c| Placement::Blocked { chunk_pages: c }),
+        Just(Placement::FirstTouch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocations_never_overlap(
+        allocs in prop::collection::vec(
+            (1u64..10_000, 0u32..12, placement_strategy()),
+            1..40,
+        )
+    ) {
+        let mut a = GlobalAlloc::new(8);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (bytes, align_pow, policy) in allocs {
+            let align = 1u64 << align_pow;
+            let addr = a.alloc(bytes, align, policy, 0);
+            prop_assert_eq!(addr % align, 0, "misaligned");
+            prop_assert!(addr >= HEAP_BASE);
+            for &(s, e) in &regions {
+                prop_assert!(addr >= e || addr + bytes <= s, "overlap");
+            }
+            regions.push((addr, addr + bytes));
+        }
+    }
+
+    #[test]
+    fn homes_are_always_in_range(
+        allocs in prop::collection::vec((1u64..50_000, placement_strategy()), 1..20),
+        probes in prop::collection::vec((0usize..20, 0u64..50_000), 1..50),
+    ) {
+        let nprocs = 8;
+        let mut a = GlobalAlloc::new(nprocs);
+        let mut bases = Vec::new();
+        for (bytes, policy) in &allocs {
+            bases.push((a.alloc(*bytes, 8, *policy, 0), *bytes));
+        }
+        for (idx, off) in probes {
+            let (base, bytes) = bases[idx % bases.len()];
+            let addr = base + off % bytes;
+            let home = a.map().home_of(addr, (off % nprocs as u64) as usize);
+            prop_assert!(home < nprocs);
+            // Homes are stable.
+            let again = a.map().home_of(addr, 0);
+            prop_assert_eq!(home, again);
+        }
+    }
+
+    #[test]
+    fn flat_mem_behaves_like_bytes(
+        ops in prop::collection::vec(
+            (0u64..10_000, prop::sample::select(vec![1u8, 2, 4, 8]), any::<u64>()),
+            1..200,
+        )
+    ) {
+        let mut m = FlatMem::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (off, len, val) in ops {
+            let addr = HEAP_BASE + off;
+            m.store(addr, len, val);
+            for (k, b) in val.to_le_bytes().iter().enumerate().take(len as usize) {
+                model.insert(addr + k as u64, *b);
+            }
+            // Read back through the model.
+            let got = m.load(addr, len);
+            let mut want = [0u8; 8];
+            for k in 0..len as usize {
+                want[k] = *model.get(&(addr + k as u64)).unwrap_or(&0);
+            }
+            prop_assert_eq!(got, u64::from_le_bytes(want));
+        }
+    }
+
+    #[test]
+    fn cache_agrees_with_reference_lru(
+        addrs in prop::collection::vec((0u64..4096u64, any::<bool>()), 1..400)
+    ) {
+        // 4-set, 2-way, 32B lines.
+        let geom = CacheGeom { size: 256, line: 32, ways: 2 };
+        let mut cache = Cache::new(geom);
+        // Reference: per set, an LRU list of tags.
+        let mut sets: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (addr, write) in addrs {
+            let line = addr / 32;
+            let set = line % 4;
+            let lru = sets.entry(set).or_default();
+            let hit_ref = lru.contains(&line);
+            let lookup = cache.access(addr, write);
+            let hit_got = !matches!(lookup, Lookup::Miss { .. });
+            prop_assert_eq!(hit_got, hit_ref, "hit/miss divergence at {:#x}", addr);
+            if hit_ref {
+                lru.retain(|&t| t != line);
+                lru.push(line);
+            } else {
+                cache.fill(addr, LineState::Exclusive);
+                if lru.len() == 2 {
+                    lru.remove(0);
+                }
+                lru.push(line);
+            }
+        }
+    }
+}

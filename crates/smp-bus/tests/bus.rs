@@ -1,0 +1,128 @@
+//! Bus-platform behaviour tests: snooping invalidation, cache-to-cache
+//! transfers, bus saturation, and write-back traffic.
+
+use sim_core::{run, Bucket, Placement, RunConfig, HEAP_BASE};
+use smp_bus::{SmpConfig, SmpPlatform};
+
+fn smp_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
+    run(SmpPlatform::boxed(SmpConfig::paper(n)), RunConfig::new(n), f)
+}
+
+#[test]
+fn bus_utilization_grows_with_processors() {
+    let miss_storm = |nprocs: usize| {
+        smp_run(nprocs, move |p| {
+            if p.pid() == 0 {
+                p.alloc_shared(16 << 20, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.start_timing();
+            let base = HEAP_BASE + (p.pid() as u64) * (1 << 20);
+            for i in 0..1024u64 {
+                p.load(base + i * 128, 8); // one miss per access
+            }
+            p.barrier(1);
+        })
+        .total_cycles()
+    };
+    let t1 = miss_storm(1);
+    let t8 = miss_storm(8);
+    // With a saturated bus, 8 processors doing the same per-processor work
+    // take much longer than one (no bus sharing would give t8 ~= t1).
+    assert!(
+        t8 as f64 > 2.0 * t1 as f64,
+        "bus must saturate: t1={t1} t8={t8}"
+    );
+}
+
+#[test]
+fn snooping_invalidation_is_flat_in_sharers() {
+    // On a broadcast bus, invalidating 7 sharers costs the writer the same
+    // single transaction as invalidating 1 (unlike the directory machine).
+    let cost = |nshare: usize| {
+        let stats = smp_run(8, move |p| {
+            if p.pid() == 0 {
+                p.alloc_shared(4096, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.start_timing();
+            if p.pid() >= 1 && p.pid() <= nshare {
+                p.load(HEAP_BASE, 8);
+            }
+            p.barrier(1);
+            if p.pid() == 0 {
+                p.store(HEAP_BASE, 8, 5);
+            }
+            p.barrier(2);
+        });
+        stats.procs[0].get(Bucket::DataWait) + stats.procs[0].get(Bucket::CacheStall)
+    };
+    let c1 = cost(1);
+    let c7 = cost(7);
+    assert!(
+        c7 <= c1 + 8,
+        "snoop invalidation should not scale with sharers: c1={c1} c7={c7}"
+    );
+}
+
+#[test]
+fn cache_to_cache_supplies_dirty_lines() {
+    let got = std::sync::Mutex::new(0u64);
+    smp_run(2, |p| {
+        if p.pid() == 0 {
+            p.alloc_shared(4096, 8, Placement::Node(0));
+        }
+        p.barrier(0);
+        p.start_timing();
+        if p.pid() == 0 {
+            p.store(HEAP_BASE, 8, 77); // dirty in p0's cache
+        }
+        p.barrier(1);
+        if p.pid() == 1 {
+            let v = p.load(HEAP_BASE, 8); // cache-to-cache
+            *got.lock().unwrap() = v;
+        }
+        p.barrier(2);
+    });
+    assert_eq!(*got.lock().unwrap(), 77);
+}
+
+#[test]
+fn dirty_evictions_write_back_over_the_bus() {
+    // Write far more dirty lines than L2 capacity: evictions must add bus
+    // traffic beyond the initial fills.
+    let stats = smp_run(1, |p| {
+        p.alloc_shared(4 << 20, 8, Placement::Node(0));
+        p.start_timing();
+        for i in 0..(2 << 20) / 128u64 {
+            p.store(HEAP_BASE + i * 128, 8, i); // 2 MB of dirty lines, 1 MB L2
+        }
+    });
+    // At least half the stores must have evicted a dirty victim.
+    let c = &stats.procs[0].counters;
+    assert!(c.cache_misses as f64 > 0.9 * (2 << 20) as f64 / 128.0);
+}
+
+#[test]
+fn deterministic_under_contention() {
+    let go = || {
+        smp_run(8, |p| {
+            if p.pid() == 0 {
+                p.alloc_shared(1 << 20, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.start_timing();
+            for i in 0..256u64 {
+                p.store(HEAP_BASE + ((i * 128 + p.pid() as u64 * 8192) % (1 << 20)), 8, i);
+                if i % 64 == 0 {
+                    p.lock(3);
+                    p.work(5);
+                    p.unlock(3);
+                }
+            }
+            p.barrier(1);
+        })
+        .clocks
+    };
+    assert_eq!(go(), go());
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the HLRC data plane and of end-to-end protocol
+//! correctness under randomized data-race-free programs.
+
+use proptest::prelude::*;
+use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
+use svm_hlrc::{Diff, SvmConfig, SvmPlatform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn diff_roundtrip(
+        twin in prop::collection::vec(any::<u8>(), 64..=64),
+        changes in prop::collection::vec((0usize..64, any::<u8>()), 0..32),
+    ) {
+        let mut dirty = twin.clone();
+        for (i, b) in changes {
+            dirty[i] = b;
+        }
+        let d = Diff::create(&twin, &dirty);
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        prop_assert_eq!(target, dirty);
+    }
+
+    #[test]
+    fn diff_is_minimal(
+        twin in prop::collection::vec(any::<u8>(), 128..=128),
+        changes in prop::collection::vec((0usize..32, any::<u32>()), 0..16),
+    ) {
+        let mut dirty = twin.clone();
+        for (w, v) in &changes {
+            dirty[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let d = Diff::create(&twin, &dirty);
+        // Count truly-differing u32 words.
+        let differing = (0..32)
+            .filter(|w| dirty[w * 4..w * 4 + 4] != twin[w * 4..w * 4 + 4])
+            .count();
+        prop_assert_eq!(d.len(), differing);
+        // Run count: number of maximal contiguous runs of differing words.
+        let mut runs = 0;
+        let mut prev = false;
+        for w in 0..32 {
+            let diff = dirty[w * 4..w * 4 + 4] != twin[w * 4..w * 4 + 4];
+            if diff && !prev {
+                runs += 1;
+            }
+            prev = diff;
+        }
+        prop_assert_eq!(d.runs as usize, runs);
+    }
+
+    #[test]
+    fn disjoint_writers_always_merge(
+        writes in prop::collection::vec((0usize..512, any::<u32>()), 1..64),
+        split in any::<u64>(),
+    ) {
+        // Assign each written word to one of two writers; both diff against
+        // the same twin; applying both must produce the union.
+        let twin = vec![0u8; 2048];
+        let mut w1 = twin.clone();
+        let mut w2 = twin.clone();
+        let mut expect = twin.clone();
+        let mut seen = std::collections::HashSet::new();
+        for (k, (w, v)) in writes.iter().enumerate() {
+            if !seen.insert(*w) {
+                continue; // keep writers disjoint per word
+            }
+            let target = if (split >> (k % 64)) & 1 == 0 { &mut w1 } else { &mut w2 };
+            target[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
+            expect[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        let d1 = Diff::create(&twin, &w1);
+        let d2 = Diff::create(&twin, &w2);
+        let mut home = twin.clone();
+        d1.apply(&mut home);
+        d2.apply(&mut home);
+        prop_assert_eq!(home, expect);
+    }
+}
+
+proptest! {
+    // End-to-end runs are slower: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn randomized_drf_program_is_sequentially_consistent_at_sync(
+        nprocs in 2usize..5,
+        epochs in 1usize..4,
+        writes_per_epoch in 1usize..12,
+        seed in any::<u64>(),
+        placement in prop_oneof![
+            Just(Placement::RoundRobin),
+            (0usize..4).prop_map(Placement::Node),
+            Just(Placement::Blocked { chunk_pages: 1 }),
+        ],
+    ) {
+        // Each epoch, each processor writes `writes_per_epoch` slots from
+        // its OWN disjoint region (data-race-free), then a barrier, then
+        // every processor reads back every slot written so far and checks
+        // the value. Slots are spread over several pages to exercise
+        // faults, twins, diffs, and invalidations under the chosen
+        // placement.
+        let npages = 4u64;
+        let slots_per_proc = 64usize;
+        let expected = std::sync::Mutex::new(vec![0u64; nprocs * slots_per_proc]);
+        run(
+            SvmPlatform::boxed(SvmConfig::paper(nprocs)),
+            RunConfig::new(nprocs),
+            |p| {
+                if p.pid() == 0 {
+                    p.alloc_shared(npages * PAGE_SIZE, 8, placement);
+                }
+                p.barrier(0);
+                p.start_timing();
+                let np = p.nprocs();
+                let slot_addr = move |q: usize, s: usize| {
+                    // Interleave processors' slots across pages at word
+                    // granularity: maximal false sharing.
+                    HEAP_BASE + (((s * np + q) * 8) as u64) % (npages * PAGE_SIZE - 8)
+                };
+                let mut rng = sim_core::util::XorShift64::new(seed ^ p.pid() as u64);
+                for epoch in 0..epochs {
+                    for _ in 0..writes_per_epoch {
+                        let s = rng.below(slots_per_proc as u64) as usize;
+                        let v = rng.next_u64();
+                        p.store(slot_addr(p.pid(), s), 8, v);
+                        expected.lock().unwrap()[p.pid() * slots_per_proc + s] = v;
+                    }
+                    p.barrier(1 + epoch as u32);
+                    // Verify everything written so far by everyone.
+                    for q in 0..np {
+                        for s in 0..slots_per_proc {
+                            let want = expected.lock().unwrap()[q * slots_per_proc + s];
+                            if want != 0 {
+                                let got = p.load(slot_addr(q, s), 8);
+                                assert_eq!(got, want, "p{} epoch {epoch} q{q} s{s}", p.pid());
+                            }
+                        }
+                    }
+                    p.barrier(100 + epoch as u32);
+                }
+            },
+        );
+    }
+}

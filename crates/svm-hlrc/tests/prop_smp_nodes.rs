@@ -1,0 +1,59 @@
+//! Randomized DRF programs on SMP-node SVM configurations: hardware-shared
+//! frames within a node plus page-grained coherence between nodes must give
+//! the same guarantees as one-processor nodes.
+
+use proptest::prelude::*;
+use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
+use svm_hlrc::{SvmConfig, SvmPlatform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn randomized_drf_program_with_smp_nodes(
+        ppn in prop::sample::select(vec![2usize, 4]),
+        epochs in 1usize..4,
+        writes_per_epoch in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let nprocs = 4;
+        let npages = 4u64;
+        let slots_per_proc = 48usize;
+        let expected = std::sync::Mutex::new(vec![0u64; nprocs * slots_per_proc]);
+        run(
+            SvmPlatform::boxed(SvmConfig::paper_smp_nodes(nprocs, ppn)),
+            RunConfig::new(nprocs),
+            |p| {
+                if p.pid() == 0 {
+                    p.alloc_shared(npages * PAGE_SIZE, 8, Placement::RoundRobin);
+                }
+                p.barrier(0);
+                p.start_timing();
+                let np = p.nprocs();
+                let slot_addr = move |q: usize, s: usize| {
+                    HEAP_BASE + (((s * np + q) * 8) as u64) % (npages * PAGE_SIZE - 8)
+                };
+                let mut rng = sim_core::util::XorShift64::new(seed ^ p.pid() as u64);
+                for epoch in 0..epochs {
+                    for _ in 0..writes_per_epoch {
+                        let s = rng.below(slots_per_proc as u64) as usize;
+                        let v = rng.next_u64();
+                        p.store(slot_addr(p.pid(), s), 8, v);
+                        expected.lock().unwrap()[p.pid() * slots_per_proc + s] = v;
+                    }
+                    p.barrier(1 + epoch as u32);
+                    for q in 0..np {
+                        for s in 0..slots_per_proc {
+                            let want = expected.lock().unwrap()[q * slots_per_proc + s];
+                            if want != 0 {
+                                let got = p.load(slot_addr(q, s), 8);
+                                assert_eq!(got, want, "ppn={ppn} p{} q{q} s{s}", p.pid());
+                            }
+                        }
+                    }
+                    p.barrier(100 + epoch as u32);
+                }
+            },
+        );
+    }
+}

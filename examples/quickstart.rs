@@ -1,0 +1,47 @@
+//! Quickstart: run one application on the SVM platform and read the
+//! paper-style execution time breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use apps::{App, AppSpec, OptClass, Platform, Scale};
+use sim_core::Bucket;
+
+fn main() {
+    // LU with the paper's final data structure (4-d blocks, page-aligned,
+    // owner-homed), on 8 simulated SVM nodes at the test problem size.
+    let spec = AppSpec {
+        app: App::Lu,
+        class: OptClass::Algorithm,
+    };
+    println!("running {} ({:?}) on SVM with 8 processors...", spec.app.name(), spec.class);
+    let stats = spec.run(Platform::Svm, 8, Scale::Test);
+
+    println!("\nexecution time: {} cycles (200 MHz -> {:.2} ms)",
+        stats.total_cycles(),
+        stats.total_cycles() as f64 / 200_000.0,
+    );
+    println!("\nper-processor breakdown (cycles):");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "proc", "Compute", "DataWait", "LockWait", "Barrier", "Handler", "CacheStall"
+    );
+    for (pid, p) in stats.procs.iter().enumerate() {
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            pid,
+            p.get(Bucket::Compute),
+            p.get(Bucket::DataWait),
+            p.get(Bucket::LockWait),
+            p.get(Bucket::BarrierWait),
+            p.get(Bucket::HandlerCompute),
+            p.get(Bucket::CacheStall),
+        );
+    }
+    let c = stats.sum_counters();
+    println!(
+        "\nprotocol activity: {} page fetches, {} twins, {} diffs, {} invalidations",
+        c.remote_fetches, c.twins_created, c.diffs_created, c.invalidations
+    );
+}

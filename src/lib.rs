@@ -1,0 +1,35 @@
+//! # svm-restructure
+//!
+//! A full Rust reproduction of Jiang, Shan & Singh, *Application
+//! Restructuring and Performance Portability on Shared Virtual Memory and
+//! Hardware-Coherent Multiprocessors* (PPoPP 1997).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — the deterministic direct-execution simulation framework;
+//! * [`svm`] — the home-based lazy-release-consistency (HLRC) shared
+//!   virtual memory platform;
+//! * [`dsm`] — the directory-based CC-NUMA hardware-coherent platform;
+//! * [`smp`] — the bus-based centralized-memory platform (SGI Challenge
+//!   class);
+//! * [`apps`] — the seven applications in all their restructured versions;
+//! * [`figures`] — the experiment harness that regenerates every figure and
+//!   table in the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results.
+
+pub use apps;
+pub use cc_numa as dsm;
+pub use figures;
+pub use sim_core as sim;
+pub use smp_bus as smp;
+pub use svm_hlrc as svm;
+
+/// Convenient glob-import surface for examples and integration tests.
+pub mod prelude {
+    pub use apps::{AppSpec, Platform as PlatformKind, Scale};
+    pub use sim_core::{
+        run, Bucket, Placement, Proc, RunConfig, RunStats,
+    };
+}

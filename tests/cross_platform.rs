@@ -1,0 +1,98 @@
+//! Workspace integration tests: every application version must compute the
+//! same (reference-verified) result on every platform, and simulations must
+//! be deterministic.
+//!
+//! Each `AppSpec::run` internally panics unless the application's output
+//! matches its sequential reference, so these tests simultaneously validate
+//! the applications, the HLRC protocol (data really flows through twins,
+//! diffs and page fetches), and the hardware-coherence models.
+
+use svm_restructure::prelude::*;
+use apps::{App, OptClass};
+
+fn all_classes() -> [OptClass; 4] {
+    OptClass::ALL
+}
+
+#[test]
+fn every_app_and_class_runs_correctly_on_svm() {
+    for app in App::ALL {
+        for class in all_classes() {
+            let spec = AppSpec { app, class };
+            let stats = spec.run(PlatformKind::Svm, 4, Scale::Test);
+            assert!(
+                stats.total_cycles() > 0,
+                "{} {} produced no timed work",
+                app.name(),
+                class.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_runs_correctly_on_dsm() {
+    for app in App::ALL {
+        for class in [OptClass::Orig, OptClass::Algorithm] {
+            let spec = AppSpec { app, class };
+            let stats = spec.run(PlatformKind::Dsm, 4, Scale::Test);
+            assert!(stats.total_cycles() > 0);
+        }
+    }
+}
+
+#[test]
+fn every_app_runs_correctly_on_smp() {
+    for app in App::ALL {
+        for class in [OptClass::Orig, OptClass::Algorithm] {
+            let spec = AppSpec { app, class };
+            let stats = spec.run(PlatformKind::Smp, 4, Scale::Test);
+            assert!(stats.total_cycles() > 0);
+        }
+    }
+}
+
+#[test]
+fn simulations_are_deterministic() {
+    for app in [App::Lu, App::Barnes, App::Volrend, App::Radix] {
+        let spec = AppSpec {
+            app,
+            class: OptClass::Orig,
+        };
+        let a = spec.run(PlatformKind::Svm, 4, Scale::Test);
+        let b = spec.run(PlatformKind::Svm, 4, Scale::Test);
+        assert_eq!(
+            a.clocks,
+            b.clocks,
+            "{}: repeated SVM runs must produce identical clocks",
+            app.name()
+        );
+        for (x, y) in a.procs.iter().zip(&b.procs) {
+            for bucket in Bucket::ALL {
+                assert_eq!(x.get(bucket), y.get(bucket), "{}", app.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn uniprocessor_runs_work_everywhere() {
+    for pf in [PlatformKind::Svm, PlatformKind::Dsm, PlatformKind::Smp] {
+        let stats = AppSpec {
+            app: App::Ocean,
+            class: OptClass::Orig,
+        }
+        .run(pf, 1, Scale::Test);
+        assert!(stats.total_cycles() > 0);
+    }
+}
+
+#[test]
+fn sixteen_processors_work() {
+    let stats = AppSpec {
+        app: App::Lu,
+        class: OptClass::Algorithm,
+    }
+    .run(PlatformKind::Svm, 16, Scale::Test);
+    assert_eq!(stats.nprocs(), 16);
+}

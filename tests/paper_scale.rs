@@ -1,0 +1,42 @@
+//! Paper-scale smoke tests (ignored by default: the simulator executes
+//! every shared access, so these take minutes each). Run with
+//! `cargo test --release --test paper_scale -- --ignored`.
+
+use apps::{App, AppSpec, OptClass};
+use svm_restructure::prelude::*;
+
+#[test]
+#[ignore = "minutes-long: full paper problem sizes"]
+fn lu_paper_scale_runs_and_verifies() {
+    // 1024x1024 matrix, 32x32 blocks — the paper's exact configuration.
+    let stats = AppSpec {
+        app: App::Lu,
+        class: OptClass::Algorithm,
+    }
+    .run(PlatformKind::Svm, 16, Scale::Paper);
+    assert!(stats.total_cycles() > 0);
+}
+
+#[test]
+#[ignore = "minutes-long: full paper problem sizes"]
+fn radix_paper_scale_runs_and_verifies() {
+    // 4M integers, radix 1024 — the paper's exact configuration.
+    let stats = AppSpec {
+        app: App::Radix,
+        class: OptClass::Orig,
+    }
+    .run(PlatformKind::Svm, 16, Scale::Paper);
+    assert!(stats.total_cycles() > 0);
+}
+
+#[test]
+#[ignore = "minutes-long: full paper problem sizes"]
+fn barnes_paper_scale_runs_and_verifies() {
+    // 16K particles — the paper's exact configuration.
+    let stats = AppSpec {
+        app: App::Barnes,
+        class: OptClass::Algorithm,
+    }
+    .run(PlatformKind::Svm, 16, Scale::Paper);
+    assert!(stats.total_cycles() > 0);
+}

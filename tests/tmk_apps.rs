@@ -1,0 +1,44 @@
+//! The full application suite must also compute correct results through the
+//! TreadMarks-style protocol — diff chains, per-writer gathers, GC and all.
+
+use apps::{App, AppSpec, OptClass};
+use svm_restructure::prelude::*;
+
+#[test]
+fn every_app_runs_correctly_on_tmk() {
+    for app in App::ALL {
+        for class in [OptClass::Orig, OptClass::Algorithm] {
+            let spec = AppSpec { app, class };
+            let stats = spec.run(PlatformKind::Tmk, 4, Scale::Test);
+            assert!(
+                stats.total_cycles() > 0,
+                "{} {} on TMK",
+                app.name(),
+                class.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn tmk_is_deterministic() {
+    let spec = AppSpec {
+        app: App::Radix,
+        class: OptClass::Orig,
+    };
+    let a = spec.run(PlatformKind::Tmk, 4, Scale::Test);
+    let b = spec.run(PlatformKind::Tmk, 4, Scale::Test);
+    assert_eq!(a.clocks, b.clocks);
+}
+
+#[test]
+fn every_app_runs_correctly_on_smp_node_svm() {
+    for app in App::ALL {
+        let spec = AppSpec {
+            app,
+            class: OptClass::Orig,
+        };
+        let stats = spec.run(PlatformKind::SvmSmpNodes { ppn: 2 }, 4, Scale::Test);
+        assert!(stats.total_cycles() > 0, "{} on SVM-SMP", app.name());
+    }
+}
