@@ -189,7 +189,15 @@ pub fn generate_bodies(params: &BarnesParams) -> Vec<[f64; 7]> {
             rng.range_f64(-0.1, 0.1),
             rng.range_f64(-0.1, 0.1),
         ];
-        out.push([pos[0], pos[1], pos[2], vel[0], vel[1], vel[2], 1.0 / n as f64]);
+        out.push([
+            pos[0],
+            pos[1],
+            pos[2],
+            vel[0],
+            vel[1],
+            vel[2],
+            1.0 / n as f64,
+        ]);
     }
     out
 }
@@ -443,10 +451,7 @@ pub fn reference_update(params: &BarnesParams) -> Vec<f64> {
             }
         }
     }
-    bodies
-        .iter()
-        .flat_map(|b| b[..6].iter().copied())
-        .collect()
+    bodies.iter().flat_map(|b| b[..6].iter().copied()).collect()
 }
 
 /// Sequential reference: body states after `steps` steps, flattened
@@ -568,10 +573,7 @@ pub fn reference(params: &BarnesParams) -> Vec<f64> {
             }
         }
     }
-    bodies
-        .iter()
-        .flat_map(|b| b[..6].iter().copied())
-        .collect()
+    bodies.iter().flat_map(|b| b[..6].iter().copied()).collect()
 }
 
 fn interact(pos: &[f64; 3], other: &[f64; 3], m: f64, acc: &mut [f64; 3]) {
@@ -650,11 +652,7 @@ impl Mem {
 
     #[inline]
     fn set_child(&self, p: &mut Proc, c: u32, oct: usize, v: u32) {
-        p.store(
-            self.cell_addr(c) + C_CHILD + 4 * oct as u64,
-            4,
-            v as u64,
-        );
+        p.store(self.cell_addr(c) + C_CHILD + 4 * oct as u64, 4, v as u64);
     }
 
     #[inline]
@@ -674,11 +672,7 @@ impl Mem {
 
     #[inline]
     fn set_cell_mom(&self, p: &mut Proc, c: u32, d: u64, v: f64) {
-        p.store(
-            self.cell_addr(c) + C_MOM + 8 * d,
-            8,
-            v.to_bits(),
-        );
+        p.store(self.cell_addr(c) + C_MOM + 8 * d, 8, v.to_bits());
     }
 
     /// Store a cell's cube bounds (centre + half extent).
@@ -690,21 +684,14 @@ impl Mem {
                 center[d as usize].to_bits(),
             );
         }
-        p.store(
-            self.cell_addr(c) + C_HALF,
-            8,
-            half.to_bits(),
-        );
+        p.store(self.cell_addr(c) + C_HALF, 8, half.to_bits());
     }
 
     /// Load a cell's cube bounds.
     fn cell_bounds(&self, p: &mut Proc, c: u32) -> ([f64; 3], f64) {
         let mut center = [0.0f64; 3];
         for d in 0..3u64 {
-            center[d as usize] = f64::from_bits(p.load(
-                self.cell_addr(c) + C_CENTER + 8 * d,
-                8,
-            ));
+            center[d as usize] = f64::from_bits(p.load(self.cell_addr(c) + C_CENTER + 8 * d, 8));
         }
         let half = f64::from_bits(p.load(self.cell_addr(c) + C_HALF, 8));
         (center, half)
@@ -993,6 +980,18 @@ pub fn run_params(
     params: &BarnesParams,
     version: BarnesVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &BarnesParams,
+    version: BarnesVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let n = params.n;
     assert_eq!(n % nprocs, 0, "bodies must divide evenly");
     let input = generate_bodies(params);
@@ -1000,14 +999,15 @@ pub fn run_params(
     let mem_bc: Bcast<Mem> = Bcast::new();
     let result = std::sync::Mutex::new(Vec::new());
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         let np = p.nprocs();
         let chunk = n / np;
         let nb = n as u32;
         if me == 0 {
             let body_pages = ((chunk as u64 * BODY_STRIDE).div_ceil(PAGE_SIZE)).max(1);
-            let bodies = p.alloc_shared(
+            let bodies = p.alloc_shared_labeled(
+                "bodies",
                 n as u64 * BODY_STRIDE,
                 PAGE_SIZE,
                 Placement::Blocked {
@@ -1026,8 +1026,7 @@ pub fn run_params(
                     // Per-processor pools, locally homed, staggered by one
                     // page to break L2 set aliasing between pool fronts.
                     let quota = ncells_total / np as u32;
-                    let quota_pages =
-                        ((quota as u64 * CELL_STRIDE).div_ceil(PAGE_SIZE)).max(1) + 1;
+                    let quota_pages = ((quota as u64 * CELL_STRIDE).div_ceil(PAGE_SIZE)).max(1) + 1;
                     let stride = quota_pages * PAGE_SIZE;
                     let cells = p.alloc_shared(
                         np as u64 * stride,
@@ -1094,74 +1093,73 @@ pub fn run_params(
         for _step in 0..params.steps {
             p.set_phase(phase::TREE_BUILD);
             let incremental = matches!(version, BarnesVersion::UpdateTree) && fixed.is_some();
-            if !incremental
-                && !matches!(version, BarnesVersion::UpdateTree) {
-                    // Rebuild algorithms: fresh pool each step.
-                    alloc = match version {
-                        BarnesVersion::SharedTree => CellAlloc {
-                            local_next: None,
-                            local_end: 0,
-                        },
-                        _ => CellAlloc {
-                            local_next: Some(me as u32 * mem.pool_quota),
-                            local_end: (me as u32 + 1) * mem.pool_quota,
-                        },
-                    };
-                }
+            if !incremental && !matches!(version, BarnesVersion::UpdateTree) {
+                // Rebuild algorithms: fresh pool each step.
+                alloc = match version {
+                    BarnesVersion::SharedTree => CellAlloc {
+                        local_next: None,
+                        local_end: 0,
+                    },
+                    _ => CellAlloc {
+                        local_next: Some(me as u32 * mem.pool_quota),
+                        local_end: (me as u32 + 1) * mem.pool_quota,
+                    },
+                };
+            }
             // --- Bounding box reduction (skipped by incremental steps) ---
             let (center, half);
             if !incremental {
-            if me == 0 {
+                if me == 0 {
+                    for d in 0..3u64 {
+                        p.write_f64(mem.bbox + 8 * d, f64::INFINITY);
+                        p.write_f64(mem.bbox + 24 + 8 * d, f64::NEG_INFINITY);
+                    }
+                    // Reset global pool / root for the new tree.
+                    p.write_u32(mem.pool_next, 0);
+                    p.write_u32(mem.root, u32::MAX);
+                }
+                p.barrier(0);
+                let mut lo = [f64::INFINITY; 3];
+                let mut hi = [f64::NEG_INFINITY; 3];
+                for i in my_lo..my_hi {
+                    let pos = mem.body_pos(p, i);
+                    for d in 0..3 {
+                        lo[d] = lo[d].min(pos[d]);
+                        hi[d] = hi[d].max(pos[d]);
+                    }
+                    p.work(6);
+                }
+                p.lock(LOCK_BBOX);
                 for d in 0..3u64 {
-                    p.write_f64(mem.bbox + 8 * d, f64::INFINITY);
-                    p.write_f64(mem.bbox + 24 + 8 * d, f64::NEG_INFINITY);
+                    let gl = p.read_f64(mem.bbox + 8 * d);
+                    let gh = p.read_f64(mem.bbox + 24 + 8 * d);
+                    p.write_f64(mem.bbox + 8 * d, gl.min(lo[d as usize]));
+                    p.write_f64(mem.bbox + 24 + 8 * d, gh.max(hi[d as usize]));
                 }
-                // Reset global pool / root for the new tree.
-                p.write_u32(mem.pool_next, 0);
-                p.write_u32(mem.root, u32::MAX);
-            }
-            p.barrier(0);
-            let mut lo = [f64::INFINITY; 3];
-            let mut hi = [f64::NEG_INFINITY; 3];
-            for i in my_lo..my_hi {
-                let pos = mem.body_pos(p, i);
+                p.unlock(LOCK_BBOX);
+                p.barrier(1);
+                let mut glo = [0.0f64; 3];
+                let mut ghi = [0.0f64; 3];
+                for d in 0..3usize {
+                    glo[d] = p.read_f64(mem.bbox + 8 * d as u64);
+                    ghi[d] = p.read_f64(mem.bbox + 24 + 8 * d as u64);
+                }
+                center = [
+                    (glo[0] + ghi[0]) / 2.0,
+                    (glo[1] + ghi[1]) / 2.0,
+                    (glo[2] + ghi[2]) / 2.0,
+                ];
+                let mut h = 0.0f64;
                 for d in 0..3 {
-                    lo[d] = lo[d].min(pos[d]);
-                    hi[d] = hi[d].max(pos[d]);
+                    h = h.max((ghi[d] - glo[d]) / 2.0);
                 }
-                p.work(6);
-            }
-            p.lock(LOCK_BBOX);
-            for d in 0..3u64 {
-                let gl = p.read_f64(mem.bbox + 8 * d);
-                let gh = p.read_f64(mem.bbox + 24 + 8 * d);
-                p.write_f64(mem.bbox + 8 * d, gl.min(lo[d as usize]));
-                p.write_f64(mem.bbox + 24 + 8 * d, gh.max(hi[d as usize]));
-            }
-            p.unlock(LOCK_BBOX);
-            p.barrier(1);
-            let mut glo = [0.0f64; 3];
-            let mut ghi = [0.0f64; 3];
-            for d in 0..3usize {
-                glo[d] = p.read_f64(mem.bbox + 8 * d as u64);
-                ghi[d] = p.read_f64(mem.bbox + 24 + 8 * d as u64);
-            }
-            center = [
-                (glo[0] + ghi[0]) / 2.0,
-                (glo[1] + ghi[1]) / 2.0,
-                (glo[2] + ghi[2]) / 2.0,
-            ];
-            let mut h = 0.0f64;
-            for d in 0..3 {
-                h = h.max((ghi[d] - glo[d]) / 2.0);
-            }
-            // Update-Tree keeps the root cube across steps: pad it so
-            // bodies stay inside for the whole run.
-            half = if matches!(version, BarnesVersion::UpdateTree) {
-                h * 1.5 + 1e-9
-            } else {
-                h * 1.001 + 1e-9
-            };
+                // Update-Tree keeps the root cube across steps: pad it so
+                // bodies stay inside for the whole run.
+                half = if matches!(version, BarnesVersion::UpdateTree) {
+                    h * 1.5 + 1e-9
+                } else {
+                    h * 1.001 + 1e-9
+                };
             } else {
                 let (_, c, hf) = fixed.unwrap();
                 center = c;
@@ -1181,7 +1179,9 @@ pub fn run_params(
                     let root = p.read_u32(mem.root);
                     for i in my_lo..my_hi {
                         let pos = mem.body_pos(p, i);
-                        insert(p, &mem, &mut alloc, nb, i, pos, root, center, half, true, false);
+                        insert(
+                            p, &mem, &mut alloc, nb, i, pos, root, center, half, true, false,
+                        );
                     }
                     p.barrier(3);
                     root
@@ -1199,8 +1199,7 @@ pub fn run_params(
                         for i in my_lo..my_hi {
                             let pos = mem.body_pos(p, i);
                             insert(
-                                p, &mem, &mut alloc, nb, i, pos, root, center, half, true,
-                                true,
+                                p, &mem, &mut alloc, nb, i, pos, root, center, half, true, true,
                             );
                         }
                         p.barrier(3);
@@ -1227,10 +1226,7 @@ pub fn run_params(
                                 continue;
                             }
                             p.lock(LOCK_CELL_BASE + cell);
-                            debug_assert_eq!(
-                                dec(mem.child(p, cell, oct), nb),
-                                Ref::Body(i)
-                            );
+                            debug_assert_eq!(dec(mem.child(p, cell, oct), nb), Ref::Body(i));
                             mem.set_child(p, cell, oct, EMPTY);
                             p.unlock(LOCK_CELL_BASE + cell);
                             moved.push((i, pos));
@@ -1238,8 +1234,7 @@ pub fn run_params(
                         p.barrier(2);
                         for (i, pos) in moved {
                             insert(
-                                p, &mem, &mut alloc, nb, i, pos, root, center, half, true,
-                                true,
+                                p, &mem, &mut alloc, nb, i, pos, root, center, half, true, true,
                             );
                         }
                         p.barrier(3);
@@ -1256,8 +1251,7 @@ pub fn run_params(
                     for i in my_lo..my_hi {
                         let pos = mem.body_pos(p, i);
                         insert(
-                            p, &mem, &mut alloc, nb, i, pos, lroot, center, half, false,
-                            false,
+                            p, &mem, &mut alloc, nb, i, pos, lroot, center, half, false, false,
                         );
                     }
                     p.barrier(2); // local trees done; root published
@@ -1462,6 +1456,17 @@ pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: BarnesVersi
     run_params(platform, nprocs, &BarnesParams::at(scale), version)
 }
 
+/// Run Barnes at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: BarnesVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &BarnesParams::at(scale), version, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1616,7 +1621,13 @@ mod tests {
     #[test]
     fn ref_encoding_roundtrip() {
         let n = 100;
-        for r in [Ref::Empty, Ref::Body(0), Ref::Body(99), Ref::Cell(0), Ref::Cell(500)] {
+        for r in [
+            Ref::Empty,
+            Ref::Body(0),
+            Ref::Body(99),
+            Ref::Cell(0),
+            Ref::Cell(500),
+        ] {
             assert_eq!(dec(enc(r, n), n), r);
         }
     }

@@ -29,7 +29,7 @@ pub mod volrend;
 
 pub use common::{AppResult, Bcast, Platform, Scale};
 
-use sim_core::RunStats;
+use sim_core::{RunConfig, RunStats};
 
 /// Identifies one application for generic harness code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -123,28 +123,76 @@ pub struct AppSpec {
 }
 
 impl AppSpec {
+    /// Display label, `App/Class` — used to tag race reports.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.app.name(), self.class.label())
+    }
+
     /// Run this experiment and return verified run statistics.
     pub fn run(&self, platform: Platform, nprocs: usize, scale: Scale) -> RunStats {
+        self.run_cfg(platform, nprocs, scale, RunConfig::new(nprocs))
+    }
+
+    /// Like [`AppSpec::run`] with an explicit scheduler configuration —
+    /// e.g. `RunConfig::new(n).with_race_detection()` to assert the run is
+    /// data-race-free. An empty `cfg.label` defaults to [`AppSpec::label`].
+    pub fn run_cfg(
+        &self,
+        platform: Platform,
+        nprocs: usize,
+        scale: Scale,
+        mut cfg: RunConfig,
+    ) -> RunStats {
+        if cfg.label.is_empty() {
+            cfg.label = self.label();
+        }
         match self.app {
-            App::Lu => lu::run(platform, nprocs, scale, lu::version_for(self.class)).stats,
+            App::Lu => lu::run_cfg(platform, nprocs, scale, lu::version_for(self.class), cfg).stats,
             App::Ocean => {
-                ocean::run(platform, nprocs, scale, ocean::version_for(self.class)).stats
+                ocean::run_cfg(platform, nprocs, scale, ocean::version_for(self.class), cfg).stats
             }
             App::Volrend => {
-                volrend::run(platform, nprocs, scale, volrend::version_for(self.class)).stats
+                volrend::run_cfg(
+                    platform,
+                    nprocs,
+                    scale,
+                    volrend::version_for(self.class),
+                    cfg,
+                )
+                .stats
             }
             App::ShearWarp => {
-                shearwarp::run(platform, nprocs, scale, shearwarp::version_for(self.class))
-                    .stats
+                shearwarp::run_cfg(
+                    platform,
+                    nprocs,
+                    scale,
+                    shearwarp::version_for(self.class),
+                    cfg,
+                )
+                .stats
             }
             App::Raytrace => {
-                raytrace::run(platform, nprocs, scale, raytrace::version_for(self.class)).stats
+                raytrace::run_cfg(
+                    platform,
+                    nprocs,
+                    scale,
+                    raytrace::version_for(self.class),
+                    cfg,
+                )
+                .stats
             }
             App::Barnes => {
-                barnes::run(platform, nprocs, scale, barnes::version_for(self.class)).stats
+                barnes::run_cfg(
+                    platform,
+                    nprocs,
+                    scale,
+                    barnes::version_for(self.class),
+                    cfg,
+                )
+                .stats
             }
             App::Radix => {
-                radix::run(platform, nprocs, scale, radix::version_for(self.class)).stats
+                radix::run_cfg(platform, nprocs, scale, radix::version_for(self.class), cfg).stats
             }
         }
     }

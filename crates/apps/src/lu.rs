@@ -111,11 +111,7 @@ enum Layout {
         stride: u64,
     },
     /// Blocked row-major: block (I,J) at `(I*nbc + J) * B*B*8`.
-    G4 {
-        base: u64,
-        nbc: usize,
-        b: usize,
-    },
+    G4 { base: u64, nbc: usize, b: usize },
     /// Owner-grouped blocks: per-block base table.
     Own {
         bases: std::sync::Arc<Vec<u64>>,
@@ -141,9 +137,7 @@ impl Layout {
             Layout::G4 { base, nbc, b } => {
                 let (bi, ri) = (r / b, r % b);
                 let (bj, cj) = (c / b, c % b);
-                base
-                    + ((bi * nbc + bj) * b * b) as u64 * 8
-                    + ((ri * b + cj) as u64) * 8
+                base + ((bi * nbc + bj) * b * b) as u64 * 8 + ((ri * b + cj) as u64) * 8
             }
             Layout::Own { bases, nbc, b } => {
                 let (bi, ri) = (r / b, r % b);
@@ -325,6 +319,18 @@ pub fn run_params(
     params: &LuParams,
     version: LuVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &LuParams,
+    version: LuVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let n = params.n;
     let b = params.block;
     assert_eq!(n % b, 0, "matrix dim must be a multiple of block size");
@@ -335,12 +341,17 @@ pub fn run_params(
     let result = std::sync::Mutex::new(Vec::new());
     let input = generate_matrix(params);
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         if p.pid() == 0 {
             // Allocate the matrix in the version's layout.
             let layout = match version {
                 LuVersion::Orig2d => Layout::G2 {
-                    base: p.alloc_shared((n * n * 8) as u64, PAGE_SIZE, Placement::RoundRobin),
+                    base: p.alloc_shared_labeled(
+                        "matrix",
+                        (n * n * 8) as u64,
+                        PAGE_SIZE,
+                        Placement::RoundRobin,
+                    ),
                     n,
                 },
                 LuVersion::PadAlign => {
@@ -466,6 +477,17 @@ pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: LuVersion) 
     run_params(platform, nprocs, &LuParams::at(scale), version)
 }
 
+/// Run LU at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: LuVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &LuParams::at(scale), version, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,7 +567,10 @@ mod tests {
         let nb = 3;
         let n = b * nb;
         let layouts = [
-            Layout::G2 { base: 0x1000_0000, n },
+            Layout::G2 {
+                base: 0x1000_0000,
+                n,
+            },
             Layout::Pad {
                 base: 0x1000_0000,
                 nbc: nb,

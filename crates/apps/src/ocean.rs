@@ -174,7 +174,11 @@ pub fn reference(params: &OceanParams) -> Vec<f64> {
 
 fn square_grid(nprocs: usize) -> usize {
     let sp = (nprocs as f64).sqrt().round() as usize;
-    assert_eq!(sp * sp, nprocs, "square partitions need a square proc count");
+    assert_eq!(
+        sp * sp,
+        nprocs,
+        "square partitions need a square proc count"
+    );
     sp
 }
 
@@ -224,6 +228,18 @@ pub fn run_params(
     params: &OceanParams,
     version: OceanVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &OceanParams,
+    version: OceanVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let n = params.n;
     if !matches!(version, OceanVersion::RowWise) {
         let sp = square_grid(nprocs);
@@ -232,7 +248,7 @@ pub fn run_params(
     let layout_bc: Bcast<(GL, GL, GL, u64)> = Bcast::new();
     let result = std::sync::Mutex::new(Vec::new());
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         if me == 0 {
             let nprocs = p.nprocs();
@@ -244,8 +260,7 @@ pub fn run_params(
                     },
                     OceanVersion::PadAlign => {
                         let grain = platform.grain();
-                        let pitch =
-                            (((n * 8) as u64).div_ceil(grain) * grain / 8) as usize;
+                        let pitch = (((n * 8) as u64).div_ceil(grain) * grain / 8) as usize;
                         GL::G2 {
                             base: p.alloc_shared(
                                 (n * pitch * 8) as u64,
@@ -271,11 +286,7 @@ pub fn run_params(
                         }
                     }
                     OceanVersion::RowWise => GL::G2 {
-                        base: p.alloc_shared(
-                            (n * n * 8) as u64,
-                            PAGE_SIZE,
-                            Placement::FirstTouch,
-                        ),
+                        base: p.alloc_shared((n * n * 8) as u64, PAGE_SIZE, Placement::FirstTouch),
                         pitch: n,
                     },
                 }
@@ -283,7 +294,7 @@ pub fn run_params(
             let psi = mk(p);
             let rhs = mk(p);
             let tmp = mk(p);
-            let resid = p.alloc_shared(8, 8, Placement::Node(0));
+            let resid = p.alloc_shared_labeled("resid", 8, 8, Placement::Node(0));
             layout_bc.put((psi, rhs, tmp, resid));
         }
         p.barrier(100);
@@ -332,8 +343,7 @@ pub fn run_params(
                                 + psi.get(p, i + 1, j)
                                 + psi.get(p, i, j - 1)
                                 + psi.get(p, i, j + 1);
-                            let target =
-                                0.25 * (nb - (rhs.get(p, i, j) + 0.1 * tmp.get(p, i, j)));
+                            let target = 0.25 * (nb - (rhs.get(p, i, j) + 0.1 * tmp.get(p, i, j)));
                             let old = psi.get(p, i, j);
                             psi.set(p, i, j, old + 0.9 * (target - old));
                             p.work(10);
@@ -383,6 +393,17 @@ pub fn run_params(
 /// Run Ocean at a scale preset.
 pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: OceanVersion) -> AppResult {
     run_params(platform, nprocs, &OceanParams::at(scale), version)
+}
+
+/// Run Ocean at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: OceanVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &OceanParams::at(scale), version, cfg)
 }
 
 #[cfg(test)]

@@ -109,6 +109,18 @@ pub fn run_params(
     params: &RadixParams,
     version: RadixVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &RadixParams,
+    version: RadixVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let n = params.n;
     assert_eq!(n % nprocs, 0, "keys must divide evenly");
     let chunk = n / nprocs;
@@ -116,23 +128,26 @@ pub fn run_params(
     let result = std::sync::Mutex::new(Vec::new());
     let input = generate_keys(params);
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         let np = p.nprocs();
         if me == 0 {
             let chunk_pages = ((chunk * 4) as u64).div_ceil(PAGE_SIZE);
-            let a = p.alloc_shared(
+            let a = p.alloc_shared_labeled(
+                "keys_a",
                 (n * 4) as u64,
                 PAGE_SIZE,
                 Placement::Blocked { chunk_pages },
             );
-            let b = p.alloc_shared(
+            let b = p.alloc_shared_labeled(
+                "keys_b",
                 (n * 4) as u64,
                 PAGE_SIZE,
                 Placement::Blocked { chunk_pages },
             );
             // Histogram matrix: one row (RADIX u32 = 4 KB = 1 page) per proc.
-            let hist = p.alloc_shared(
+            let hist = p.alloc_shared_labeled(
+                "hist",
                 (np * RADIX * 4) as u64,
                 PAGE_SIZE,
                 Placement::Blocked {
@@ -167,8 +182,7 @@ pub fn run_params(
             let mut matrix = vec![0u32; np * RADIX];
             for q in 0..np {
                 for d in 0..RADIX {
-                    matrix[q * RADIX + d] =
-                        p.load(hist + ((q * RADIX + d) * 4) as u64, 4) as u32;
+                    matrix[q * RADIX + d] = p.load(hist + ((q * RADIX + d) * 4) as u64, 4) as u32;
                 }
             }
             let mut offsets = vec![0u64; RADIX];
@@ -251,15 +265,26 @@ pub fn run_params(
     assert_eq!(out, want, "Radix output is not sorted correctly");
     AppResult {
         stats,
-        checksum: out.iter().fold(0u64, |h, &k| {
-            (h ^ k as u64).wrapping_mul(0x100_0000_01b3)
-        }),
+        checksum: out
+            .iter()
+            .fold(0u64, |h, &k| (h ^ k as u64).wrapping_mul(0x100_0000_01b3)),
     }
 }
 
 /// Run Radix at a scale preset.
 pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: RadixVersion) -> AppResult {
     run_params(platform, nprocs, &RadixParams::at(scale), version)
+}
+
+/// Run Radix at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: RadixVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &RadixParams::at(scale), version, cfg)
 }
 
 #[cfg(test)]

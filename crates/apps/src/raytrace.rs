@@ -103,7 +103,14 @@ pub fn generate_scene(params: &RaytraceParams) -> Vec<Sphere> {
             return;
         }
         let d = r + r / 2.5;
-        for (axis, sign) in [(0, 1.0), (0, -1.0), (1, 1.0), (2, 1.0), (2, -1.0), (1, -1.0)] {
+        for (axis, sign) in [
+            (0, 1.0),
+            (0, -1.0),
+            (1, 1.0),
+            (2, 1.0),
+            (2, -1.0),
+            (1, -1.0),
+        ] {
             let mut cc = c;
             cc[axis] += sign * d;
             flake(out, cc, r / 2.5, depth - 1);
@@ -170,7 +177,11 @@ fn intersect(
         }
         let t = -b - disc.sqrt();
         if t > 1e-6 && best.is_none_or(|(bt, ..)| t < bt) {
-            let hp = [orig[0] + t * dir[0], orig[1] + t * dir[1], orig[2] + t * dir[2]];
+            let hp = [
+                orig[0] + t * dir[0],
+                orig[1] + t * dir[1],
+                orig[2] + t * dir[2],
+            ];
             let nn = norm(&[hp[0] - s.c[0], hp[1] - s.c[1], hp[2] - s.c[2]]);
             best = Some((t, nn, s.refl, s.shade));
         }
@@ -209,7 +220,11 @@ fn trace(sc: &mut dyn SceneAccess, orig: &[f64; 3], dir: &[f64; 3], depth: u32) 
     match intersect(sc, orig, dir) {
         None => 0.08 + 0.12 * (dir[1].max(0.0)), // sky
         Some((t, n, refl, shade)) => {
-            let hp = [orig[0] + t * dir[0], orig[1] + t * dir[1], orig[2] + t * dir[2]];
+            let hp = [
+                orig[0] + t * dir[0],
+                orig[1] + t * dir[1],
+                orig[2] + t * dir[2],
+            ];
             let lift = [
                 hp[0] + n[0] * 1e-6,
                 hp[1] + n[1] * 1e-6,
@@ -320,6 +335,18 @@ pub fn run_params(
     params: &RaytraceParams,
     version: RaytraceVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &RaytraceParams,
+    version: RaytraceVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let img = params.img;
     assert_eq!(img % TILE, 0);
     let tiles = img / TILE;
@@ -328,7 +355,7 @@ pub fn run_params(
     let layout_bc: Bcast<(u64, u64, u64, u64)> = Bcast::new();
     let result = std::sync::Mutex::new((Vec::new(), 0u64));
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         let np = p.nprocs();
         if me == 0 {
@@ -481,6 +508,17 @@ pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: RaytraceVer
     run_params(platform, nprocs, &RaytraceParams::at(scale), version)
 }
 
+/// Run Raytrace at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: RaytraceVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &RaytraceParams::at(scale), version, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,8 +534,7 @@ mod tests {
     fn reference_image_has_structure() {
         let (img, rays) = reference(&tiny());
         assert!(rays > (16 * 16) as u64, "primary rays at least");
-        let distinct: std::collections::HashSet<u32> =
-            img.iter().map(|f| f.to_bits()).collect();
+        let distinct: std::collections::HashSet<u32> = img.iter().map(|f| f.to_bits()).collect();
         assert!(distinct.len() > 10, "image too flat");
     }
 

@@ -186,11 +186,7 @@ pub fn encode(vol: &[u8], v: usize) -> Rle {
                     vox.extend_from_slice(&row[lit_start..lit_start + len]);
                 }
             }
-            index.push((
-                first_run,
-                runs.len() as u32 - first_run,
-                first_vox,
-            ));
+            index.push((first_run, runs.len() as u32 - first_run, first_vox));
         }
     }
     Rle { runs, index, vox }
@@ -258,12 +254,7 @@ pub fn reference(params: &ShearWarpParams) -> Vec<f32> {
 }
 
 /// Scanline → owner for the composite phase.
-fn scan_owner(
-    version: ShearWarpVersion,
-    bounds: &[usize],
-    nprocs: usize,
-    u: usize,
-) -> usize {
+fn scan_owner(version: ShearWarpVersion, bounds: &[usize], nprocs: usize, u: usize) -> usize {
     match version {
         ShearWarpVersion::Repartitioned => {
             // Contiguous cost-balanced blocks: bounds[p] .. bounds[p+1].
@@ -283,6 +274,18 @@ pub fn run_params(
     nprocs: usize,
     params: &ShearWarpParams,
     version: ShearWarpVersion,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &ShearWarpParams,
+    version: ShearWarpVersion,
+    cfg: RunConfig,
 ) -> AppResult {
     let g = Geom::new(params.v);
     let v = params.v;
@@ -339,7 +342,7 @@ pub fn run_params(
     let layout_bc: Bcast<(u64, u64, u64, u64, u64, u64)> = Bcast::new();
     let result = std::sync::Mutex::new(Vec::new());
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         let np = p.nprocs();
         if me == 0 {
@@ -372,16 +375,9 @@ pub fn run_params(
             }
             // Intermediate and final images. FirstTouch + parallel init
             // homes scanlines at their composite-phase owners.
-            let inter_a = p.alloc_shared(
-                g.iy as u64 * row_stride,
-                PAGE_SIZE,
-                Placement::FirstTouch,
-            );
-            let fin_a = p.alloc_shared(
-                (g.iy * g.ix * 4) as u64,
-                PAGE_SIZE,
-                Placement::FirstTouch,
-            );
+            let inter_a =
+                p.alloc_shared(g.iy as u64 * row_stride, PAGE_SIZE, Placement::FirstTouch);
+            let fin_a = p.alloc_shared((g.iy * g.ix * 4) as u64, PAGE_SIZE, Placement::FirstTouch);
             layout_bc.put((runs_a, index_a, vox_a, inter_a, fin_a, 0));
         }
         p.barrier(100);
@@ -419,90 +415,90 @@ pub fn run_params(
             if frame == 1 {
                 p.start_timing();
             }
-        // Clear my intermediate scanlines (each frame recomposites).
-        p.set_phase(phase::COMPOSITE);
-        for u in 0..g.iy {
-            if scan_owner(version, &bounds, np, u) == me {
-                for x in 0..g.ix {
-                    p.store(ipix(u, x), 4, 0);
-                    p.store(ipix(u, x) + 4, 4, 0);
+            // Clear my intermediate scanlines (each frame recomposites).
+            p.set_phase(phase::COMPOSITE);
+            for u in 0..g.iy {
+                if scan_owner(version, &bounds, np, u) == me {
+                    for x in 0..g.ix {
+                        p.store(ipix(u, x), 4, 0);
+                        p.store(ipix(u, x) + 4, 4, 0);
+                    }
+                    p.work(2 * g.ix as u64);
                 }
-                p.work(2 * g.ix as u64);
             }
-        }
 
-        // --- Composite phase ---
-        for u in 0..g.iy {
-            if scan_owner(version, &bounds, np, u) != me {
-                continue;
-            }
-            for z in 0..v {
-                let (sx, sy) = g.shift(z);
-                let yv = u as i64 - g.my as i64 - sy;
-                if yv < 0 || yv >= v as i64 {
+            // --- Composite phase ---
+            for u in 0..g.iy {
+                if scan_owner(version, &bounds, np, u) != me {
                     continue;
                 }
-                let ib = index_a + ((z * v + yv as usize) * 12) as u64;
-                let r0 = p.load(ib, 4) as u32;
-                let rc = p.load(ib + 4, 4) as u32;
-                let v0 = p.load(ib + 8, 4) as u32;
-                p.work(6);
-                let mut x = 0i64;
-                let mut vi = v0 as u64;
-                for r in r0..r0 + rc {
-                    let run = p.load(runs_a + (r as u64) * 4, 4) as u32;
-                    x += (run >> 16) as i64;
-                    p.work(3);
-                    for _ in 0..(run & 0xffff) {
-                        let d = p.load(vox_a + vi, 1) as u8;
-                        vi += 1;
-                        let xi = (x + g.mx as i64 + sx) as usize;
-                        x += 1;
-                        let a = f32::from_bits(p.load(ipix(u, xi) + 4, 4) as u32);
-                        p.work(4);
-                        if a > params.term {
-                            continue;
+                for z in 0..v {
+                    let (sx, sy) = g.shift(z);
+                    let yv = u as i64 - g.my as i64 - sy;
+                    if yv < 0 || yv >= v as i64 {
+                        continue;
+                    }
+                    let ib = index_a + ((z * v + yv as usize) * 12) as u64;
+                    let r0 = p.load(ib, 4) as u32;
+                    let rc = p.load(ib + 4, 4) as u32;
+                    let v0 = p.load(ib + 8, 4) as u32;
+                    p.work(6);
+                    let mut x = 0i64;
+                    let mut vi = v0 as u64;
+                    for r in r0..r0 + rc {
+                        let run = p.load(runs_a + (r as u64) * 4, 4) as u32;
+                        x += (run >> 16) as i64;
+                        p.work(3);
+                        for _ in 0..(run & 0xffff) {
+                            let d = p.load(vox_a + vi, 1) as u8;
+                            vi += 1;
+                            let xi = (x + g.mx as i64 + sx) as usize;
+                            x += 1;
+                            let a = f32::from_bits(p.load(ipix(u, xi) + 4, 4) as u32);
+                            p.work(4);
+                            if a > params.term {
+                                continue;
+                            }
+                            let (op, it) = transfer(d);
+                            let w = (1.0 - a) * op;
+                            let c = f32::from_bits(p.load(ipix(u, xi), 4) as u32);
+                            p.store(ipix(u, xi), 4, (c + w * it).to_bits() as u64);
+                            p.store(ipix(u, xi) + 4, 4, (a + w).to_bits() as u64);
+                            p.work(6);
                         }
-                        let (op, it) = transfer(d);
-                        let w = (1.0 - a) * op;
-                        let c = f32::from_bits(p.load(ipix(u, xi), 4) as u32);
-                        p.store(ipix(u, xi), 4, (c + w * it).to_bits() as u64);
-                        p.store(ipix(u, xi) + 4, 4, (a + w).to_bits() as u64);
-                        p.work(6);
                     }
                 }
             }
-        }
-        // The original algorithm must redistribute the intermediate image
-        // before warping; the repartitioned algorithm warps its own data.
-        if !matches!(version, ShearWarpVersion::Repartitioned) {
-            p.barrier(0);
-        }
+            // The original algorithm must redistribute the intermediate image
+            // before warping; the repartitioned algorithm warps its own data.
+            if !matches!(version, ShearWarpVersion::Repartitioned) {
+                p.barrier(0);
+            }
 
-        // --- Warp phase ---
-        p.set_phase(phase::WARP);
-        for y in 0..g.iy {
-            let warp_owner = if matches!(version, ShearWarpVersion::Repartitioned) {
-                scan_owner(version, &bounds, np, y)
-            } else {
-                (y * np / g.iy).min(np - 1)
-            };
-            if warp_owner != me {
-                continue;
-            }
-            let ws = g.warp_shift(y);
-            for x in 0..g.ix {
-                let sxp = x as i64 - ws;
-                let val = if sxp >= 0 && (sxp as usize) < g.ix {
-                    p.load(ipix(y, sxp as usize), 4)
+            // --- Warp phase ---
+            p.set_phase(phase::WARP);
+            for y in 0..g.iy {
+                let warp_owner = if matches!(version, ShearWarpVersion::Repartitioned) {
+                    scan_owner(version, &bounds, np, y)
                 } else {
-                    0
+                    (y * np / g.iy).min(np - 1)
                 };
-                p.store(fin_a + ((y * g.ix + x) * 4) as u64, 4, val);
-                p.work(3);
+                if warp_owner != me {
+                    continue;
+                }
+                let ws = g.warp_shift(y);
+                for x in 0..g.ix {
+                    let sxp = x as i64 - ws;
+                    let val = if sxp >= 0 && (sxp as usize) < g.ix {
+                        p.load(ipix(y, sxp as usize), 4)
+                    } else {
+                        0
+                    };
+                    p.store(fin_a + ((y * g.ix + x) * 4) as u64, 4, val);
+                    p.work(3);
+                }
             }
-        }
-        p.barrier(1);
+            p.barrier(1);
         } // frames
 
         p.stop_timing();
@@ -535,6 +531,17 @@ pub fn run(
     version: ShearWarpVersion,
 ) -> AppResult {
     run_params(platform, nprocs, &ShearWarpParams::at(scale), version)
+}
+
+/// Run Shear-Warp at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: ShearWarpVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &ShearWarpParams::at(scale), version, cfg)
 }
 
 #[cfg(test)]

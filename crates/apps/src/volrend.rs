@@ -209,7 +209,10 @@ pub fn reference(params: &VolrendParams) -> Vec<f32> {
 /// Image layout (2-d row-major or 4-d partition blocks).
 #[derive(Clone, Copy)]
 enum Img {
-    G2 { base: u64, n: usize },
+    G2 {
+        base: u64,
+        n: usize,
+    },
     G4 {
         base: u64,
         brows: usize,
@@ -284,6 +287,18 @@ pub fn run_params(
     params: &VolrendParams,
     version: VolrendVersion,
 ) -> AppResult {
+    run_params_cfg(platform, nprocs, params, version, RunConfig::new(nprocs))
+}
+
+/// Like [`run_params`] with an explicit scheduler configuration (quantum,
+/// race detection, run label).
+pub fn run_params_cfg(
+    platform: Platform,
+    nprocs: usize,
+    params: &VolrendParams,
+    version: VolrendVersion,
+    cfg: RunConfig,
+) -> AppResult {
     let v = params.v;
     let n = 2 * v; // image edge
     assert_eq!(n % TILE, 0);
@@ -300,12 +315,17 @@ pub fn run_params(
         4
     };
 
-    let stats = sim_run(platform.boxed(nprocs), RunConfig::new(nprocs), |p| {
+    let stats = sim_run(platform.boxed(nprocs), cfg, |p| {
         let me = p.pid();
         let np = p.nprocs();
         if me == 0 {
             // Read-only volume, round-robin pages (all share it).
-            let volume = p.alloc_shared((v * v * v) as u64, PAGE_SIZE, Placement::RoundRobin);
+            let volume = p.alloc_shared_labeled(
+                "volume",
+                (v * v * v) as u64,
+                PAGE_SIZE,
+                Placement::RoundRobin,
+            );
             for (i, d) in vol.iter().enumerate() {
                 p.store(volume + i as u64, 1, *d as u64);
             }
@@ -371,100 +391,100 @@ pub fn run_params(
             }
         }
         for frame in 0..params.frames + 1 {
-        // Frame 0 is an untimed warm-up (SPLASH-2 methodology): it faults
-        // in the read-only volume so the timed frames measure steady state.
-        if frame == 1 {
-            p.start_timing();
-        }
-        p.lock(LOCK_QUEUE_BASE + me as u32);
-        for (i, t) in mine.iter().enumerate() {
-            p.store(qentry(me, i as u64), 4, *t as u64);
-        }
-        p.write_u32(qcount(me), mine.len() as u32);
-        p.unlock(LOCK_QUEUE_BASE + me as u32);
-        p.barrier(0);
+            // Frame 0 is an untimed warm-up (SPLASH-2 methodology): it faults
+            // in the read-only volume so the timed frames measure steady state.
+            if frame == 1 {
+                p.start_timing();
+            }
+            p.lock(LOCK_QUEUE_BASE + me as u32);
+            for (i, t) in mine.iter().enumerate() {
+                p.store(qentry(me, i as u64), 4, *t as u64);
+            }
+            p.write_u32(qcount(me), mine.len() as u32);
+            p.unlock(LOCK_QUEUE_BASE + me as u32);
+            p.barrier(0);
 
-        // Render loop: pop own queue, then steal.
-        let mut victim = me;
-        loop {
-            // Try to pop from `victim`'s queue.
-            p.lock(LOCK_QUEUE_BASE + victim as u32);
-            let c = p.read_u32(qcount(victim));
-            let task = if c > 0 {
-                let t = p.load(qentry(victim, (c - 1) as u64), 4) as u32;
-                p.write_u32(qcount(victim), c - 1);
-                Some(t)
-            } else {
-                None
-            };
-            p.unlock(LOCK_QUEUE_BASE + victim as u32);
-            match task {
-                Some(t) => {
-                    let (ty, tx) = ((t as usize) / tiles, (t as usize) % tiles);
-                    for py in 0..TILE {
-                        for px in 0..TILE {
-                            let (x, y) = (tx * TILE + px, ty * TILE + py);
-                            let (vx, vy) = (x / 2, y / 2);
-                            // Empty-space skip: per-column occupancy range.
-                            let zlo = p.load(zmap + ((vy * v + vx) * 2) as u64, 1) as usize;
-                            let zhi = p.load(zmap + ((vy * v + vx) * 2 + 1) as u64, 1) as usize;
-                            p.work(4);
-                            // March the ray through the occupied range.
-                            let mut alpha = 0.0f32;
-                            let mut colour = 0.0f32;
-                            for z in zlo..zhi {
-                                let d = p.load(volume + ((z * v + vy) * v + vx) as u64, 1) as u8;
-                                p.work(6);
-                                if d == 0 {
-                                    continue;
+            // Render loop: pop own queue, then steal.
+            let mut victim = me;
+            loop {
+                // Try to pop from `victim`'s queue.
+                p.lock(LOCK_QUEUE_BASE + victim as u32);
+                let c = p.read_u32(qcount(victim));
+                let task = if c > 0 {
+                    let t = p.load(qentry(victim, (c - 1) as u64), 4) as u32;
+                    p.write_u32(qcount(victim), c - 1);
+                    Some(t)
+                } else {
+                    None
+                };
+                p.unlock(LOCK_QUEUE_BASE + victim as u32);
+                match task {
+                    Some(t) => {
+                        let (ty, tx) = ((t as usize) / tiles, (t as usize) % tiles);
+                        for py in 0..TILE {
+                            for px in 0..TILE {
+                                let (x, y) = (tx * TILE + px, ty * TILE + py);
+                                let (vx, vy) = (x / 2, y / 2);
+                                // Empty-space skip: per-column occupancy range.
+                                let zlo = p.load(zmap + ((vy * v + vx) * 2) as u64, 1) as usize;
+                                let zhi = p.load(zmap + ((vy * v + vx) * 2 + 1) as u64, 1) as usize;
+                                p.work(4);
+                                // March the ray through the occupied range.
+                                let mut alpha = 0.0f32;
+                                let mut colour = 0.0f32;
+                                for z in zlo..zhi {
+                                    let d =
+                                        p.load(volume + ((z * v + vy) * v + vx) as u64, 1) as u8;
+                                    p.work(6);
+                                    if d == 0 {
+                                        continue;
+                                    }
+                                    // Gradient shading: two neighbour samples.
+                                    let zm = p.load(
+                                        volume + ((z.saturating_sub(1) * v + vy) * v + vx) as u64,
+                                        1,
+                                    ) as u8;
+                                    let zp = p.load(
+                                        volume + (((z + 1).min(v - 1) * v + vy) * v + vx) as u64,
+                                        1,
+                                    ) as u8;
+                                    let grad = ((zp as f32 - zm as f32) / 255.0).abs();
+                                    let op =
+                                        f32::from_bits(p.load(table + (d as u64) * 8, 4) as u32);
+                                    let it = f32::from_bits(
+                                        p.load(table + (d as u64) * 8 + 4, 4) as u32
+                                    );
+                                    let w = (1.0 - alpha) * op;
+                                    colour += w * it * (0.6 + 0.4 * grad);
+                                    alpha += w;
+                                    p.work(30); // interpolation, gradient, shading
+                                    if alpha > params.term {
+                                        break;
+                                    }
                                 }
-                                // Gradient shading: two neighbour samples.
-                                let zm = p.load(
-                                    volume + ((z.saturating_sub(1) * v + vy) * v + vx) as u64,
-                                    1,
-                                ) as u8;
-                                let zp = p.load(
-                                    volume + (((z + 1).min(v - 1) * v + vy) * v + vx) as u64,
-                                    1,
-                                ) as u8;
-                                let grad = ((zp as f32 - zm as f32) / 255.0).abs();
-                                let op = f32::from_bits(
-                                    p.load(table + (d as u64) * 8, 4) as u32
-                                );
-                                let it = f32::from_bits(
-                                    p.load(table + (d as u64) * 8 + 4, 4) as u32,
-                                );
-                                let w = (1.0 - alpha) * op;
-                                colour += w * it * (0.6 + 0.4 * grad);
-                                alpha += w;
-                                p.work(30); // interpolation, gradient, shading
-                                if alpha > params.term {
-                                    break;
+                                if matches!(version, VolrendVersion::Image4d) {
+                                    p.work(8); // extra 4-d addressing arithmetic
                                 }
+                                p.store(img.addr(x, y), 4, colour.to_bits() as u64);
                             }
-                            if matches!(version, VolrendVersion::Image4d) {
-                                p.work(8); // extra 4-d addressing arithmetic
-                            }
-                            p.store(img.addr(x, y), 4, colour.to_bits() as u64);
                         }
+                        // After a stolen task, return to the own queue first
+                        // (steal one at a time, as SPLASH does).
+                        victim = me;
                     }
-                    // After a stolen task, return to the own queue first
-                    // (steal one at a time, as SPLASH does).
-                    victim = me;
-                }
-                None => {
-                    if !steal && victim == me {
-                        break; // no stealing: done when own queue drains
-                    }
-                    // Steal scan: next victim; give up after a full circle.
-                    victim = (victim + 1) % np;
-                    if victim == me {
-                        break;
+                    None => {
+                        if !steal && victim == me {
+                            break; // no stealing: done when own queue drains
+                        }
+                        // Steal scan: next victim; give up after a full circle.
+                        victim = (victim + 1) % np;
+                        if victim == me {
+                            break;
+                        }
                     }
                 }
             }
-        }
-        p.barrier(1);
+            p.barrier(1);
         } // frames
 
         p.stop_timing();
@@ -499,6 +519,17 @@ pub fn run_params(
 /// Run Volrend at a scale preset.
 pub fn run(platform: Platform, nprocs: usize, scale: Scale, version: VolrendVersion) -> AppResult {
     run_params(platform, nprocs, &VolrendParams::at(scale), version)
+}
+
+/// Run Volrend at a scale preset with an explicit scheduler configuration.
+pub fn run_cfg(
+    platform: Platform,
+    nprocs: usize,
+    scale: Scale,
+    version: VolrendVersion,
+    cfg: RunConfig,
+) -> AppResult {
+    run_params_cfg(platform, nprocs, &VolrendParams::at(scale), version, cfg)
 }
 
 #[cfg(test)]

@@ -1,24 +1,25 @@
-//! Property-based tests over the application suite: layout bijectivity,
+//! Randomized tests over the application suite: layout bijectivity,
 //! partition tilings, workload-generator invariants, and end-to-end sorts
 //! with randomized inputs.
+//!
+//! Seeded [`XorShift64`] sweeps (originally `proptest`): failures reproduce
+//! exactly.
 
 use apps::common::Platform;
 use apps::radix::{self, RadixParams, RadixVersion};
 use apps::shearwarp::{self, Geom};
 use apps::volrend::{self, VolrendParams};
-use proptest::prelude::*;
+use sim_core::util::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn rle_round_trips_arbitrary_volumes(
-        v in prop::sample::select(vec![8usize, 12, 16]),
-        seed in any::<u64>(),
-        density in 0.0f64..1.0,
-    ) {
+#[test]
+fn rle_round_trips_arbitrary_volumes() {
+    for case in 0..32u64 {
+        let mut crng = XorShift64::new(0x21E ^ (case << 8));
+        let v = [8usize, 12, 16][crng.below(3) as usize];
+        let seed = crng.next_u64();
+        let density = crng.f64();
         // Random volume with the requested occupancy.
-        let mut rng = sim_core::util::XorShift64::new(seed);
+        let mut rng = XorShift64::new(seed);
         let mut vol = vec![0u8; v * v * v];
         for b in vol.iter_mut() {
             if rng.f64() < density {
@@ -41,29 +42,37 @@ proptest! {
                         vi += 1;
                     }
                 }
-                prop_assert_eq!(&row[..], &vol[(z * v + y) * v..(z * v + y + 1) * v]);
+                assert_eq!(&row[..], &vol[(z * v + y) * v..(z * v + y + 1) * v]);
             }
         }
     }
+}
 
-    #[test]
-    fn shearwarp_geometry_keeps_shifts_in_bounds(v in 8usize..128) {
+#[test]
+fn shearwarp_geometry_keeps_shifts_in_bounds() {
+    let mut rng = XorShift64::new(0x6E0);
+    for _ in 0..32 {
+        let v = 8 + rng.below(120) as usize;
         let g = Geom::new(v);
         for z in 0..v {
             let (sx, sy) = g.shift(z);
             for y in 0..v {
                 let u = y as i64 + g.my as i64 + sy;
-                prop_assert!(u >= 0 && (u as usize) < g.iy, "row out of bounds");
+                assert!(u >= 0 && (u as usize) < g.iy, "row out of bounds");
             }
             for x in 0..v {
                 let xi = x as i64 + g.mx as i64 + sx;
-                prop_assert!(xi >= 0 && (xi as usize) < g.ix, "col out of bounds");
+                assert!(xi >= 0 && (xi as usize) < g.ix, "col out of bounds");
             }
         }
     }
+}
 
-    #[test]
-    fn volume_zrange_is_tight(seed in any::<u64>()) {
+#[test]
+fn volume_zrange_is_tight() {
+    let mut crng = XorShift64::new(0x2A46E);
+    for _ in 0..32 {
+        let seed = crng.next_u64();
         let params = VolrendParams {
             v: 16,
             frames: 1,
@@ -78,7 +87,7 @@ proptest! {
                 for z in 0..16 {
                     let d = vol[(z * 16 + y) * 16 + x];
                     if d != 0 {
-                        prop_assert!(
+                        assert!(
                             (lo as usize) <= z && z < hi as usize,
                             "occupied voxel outside range"
                         );
@@ -86,24 +95,22 @@ proptest! {
                 }
                 if lo as usize <= 15 && (lo as usize) < (hi as usize) {
                     // Range endpoints are occupied (tightness).
-                    prop_assert!(vol[((lo as usize) * 16 + y) * 16 + x] != 0);
-                    prop_assert!(vol[((hi as usize - 1) * 16 + y) * 16 + x] != 0);
+                    assert!(vol[((lo as usize) * 16 + y) * 16 + x] != 0);
+                    assert!(vol[((hi as usize - 1) * 16 + y) * 16 + x] != 0);
                 }
             }
         }
     }
 }
 
-proptest! {
+#[test]
+fn radix_sorts_arbitrary_seeds() {
     // End-to-end simulated sorts: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn radix_sorts_arbitrary_seeds(
-        seed in any::<u64>(),
-        nprocs in prop::sample::select(vec![1usize, 2, 4]),
-        version in prop::sample::select(vec![RadixVersion::Orig, RadixVersion::LocalBuffer]),
-    ) {
+    let mut crng = XorShift64::new(0x2AD1);
+    for _ in 0..6 {
+        let seed = crng.next_u64();
+        let nprocs = [1usize, 2, 4][crng.below(3) as usize];
+        let version = [RadixVersion::Orig, RadixVersion::LocalBuffer][crng.below(2) as usize];
         let params = RadixParams {
             n: 1 << 10,
             passes: 2,
@@ -111,6 +118,6 @@ proptest! {
         };
         // run_params panics internally if the output is not sorted.
         let r = radix::run_params(Platform::Svm, nprocs, &params, version);
-        prop_assert!(r.stats.total_cycles() > 0);
+        assert!(r.stats.total_cycles() > 0);
     }
 }

@@ -1,42 +1,54 @@
 //! End-to-end application runs at test scale: simulator throughput per
 //! whole simulated execution (build/verify included).
-use apps::{App, AppSpec, OptClass, Platform, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Plain `std::time` timing loops (originally criterion harnesses). Run with
+//! `cargo bench -p bench --bench applications`.
 
-fn bench_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apps_test_scale");
-    g.sample_size(10);
+use apps::{App, AppSpec, OptClass, Platform, Scale};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn report(name: &str, iters: u64, mut f: impl FnMut()) {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{name:<28} {:>10.2} ms/iter ({iters} iters)",
+        dt.as_secs_f64() * 1e3 / iters as f64
+    );
+}
+
+fn bench_apps() {
     for app in [App::Lu, App::Ocean, App::Barnes, App::Radix] {
         for pf in [Platform::Svm, Platform::Dsm] {
-            g.bench_function(format!("{}_{}", app.name(), pf.name()), |b| {
-                let spec = AppSpec {
-                    app,
-                    class: OptClass::Orig,
-                };
-                b.iter(|| spec.run(pf, 4, Scale::Test))
+            let spec = AppSpec {
+                app,
+                class: OptClass::Orig,
+            };
+            report(&format!("{}_{}", app.name(), pf.name()), 10, || {
+                black_box(spec.run(pf, 4, Scale::Test));
             });
         }
     }
-    g.finish();
 }
 
-fn bench_figures_smoke(c: &mut Criterion) {
+fn bench_figures_smoke() {
     // One figure-style sweep at test scale: how long a harness run costs.
-    let mut g = c.benchmark_group("figure_smoke");
-    g.sample_size(10);
-    g.bench_function("fig2_row_lu", |b| {
-        b.iter(|| {
-            let spec = AppSpec {
-                app: App::Lu,
-                class: OptClass::Orig,
-            };
-            let base = spec.run(Platform::Svm, 1, Scale::Test).total_cycles();
-            let par = spec.run(Platform::Svm, 4, Scale::Test).total_cycles();
-            base as f64 / par as f64
-        })
+    report("fig2_row_lu", 10, || {
+        let spec = AppSpec {
+            app: App::Lu,
+            class: OptClass::Orig,
+        };
+        let base = spec.run(Platform::Svm, 1, Scale::Test).total_cycles();
+        let par = spec.run(Platform::Svm, 4, Scale::Test).total_cycles();
+        black_box(base as f64 / par as f64);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_apps, bench_figures_smoke);
-criterion_main!(benches);
+fn main() {
+    bench_apps();
+    bench_figures_smoke();
+}

@@ -1,11 +1,32 @@
 //! HLRC data-plane micro-benchmarks.
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+//!
+//! Plain `std::time` timing loops (originally criterion harnesses): the
+//! workspace must build with no external crates. Run with
+//! `cargo bench -p bench --bench protocol`.
+
 use sim_core::cache::{Cache, CacheGeom, LineState};
 use sim_core::Resource;
+use std::hint::black_box;
+use std::time::Instant;
 use svm_hlrc::Diff;
 
-fn bench_diff(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diff");
+fn report(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warm up, then time.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{name:<28} {:>10.1} ns/iter ({iters} iters)",
+        dt.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn bench_diff() {
     let twin = vec![0u8; 4096];
     // Scattered: every 16th word differs.
     let mut scattered = twin.clone();
@@ -17,55 +38,50 @@ fn bench_diff(c: &mut Criterion) {
     for b in contiguous.iter_mut().take(1024) {
         *b = 1;
     }
-    g.bench_function("create_scattered", |b| {
-        b.iter(|| Diff::create(black_box(&twin), black_box(&scattered)))
+    report("diff/create_scattered", 100_000, || {
+        black_box(Diff::create(black_box(&twin), black_box(&scattered)));
     });
-    g.bench_function("create_contiguous", |b| {
-        b.iter(|| Diff::create(black_box(&twin), black_box(&contiguous)))
+    report("diff/create_contiguous", 100_000, || {
+        black_box(Diff::create(black_box(&twin), black_box(&contiguous)));
     });
     let d = Diff::create(&twin, &contiguous);
-    g.bench_function("apply", |b| {
-        let mut target = twin.clone();
-        b.iter(|| d.apply(black_box(&mut target)))
+    let mut target = twin.clone();
+    report("diff/apply", 100_000, || {
+        d.apply(black_box(&mut target));
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
+fn bench_cache() {
     let geom = CacheGeom {
         size: 512 << 10,
         line: 32,
         ways: 2,
     };
-    g.bench_function("hit", |b| {
-        let mut cache = Cache::new(geom);
-        cache.fill(0x1000_0000, LineState::Exclusive);
-        b.iter(|| cache.access(black_box(0x1000_0000), false))
+    let mut cache = Cache::new(geom);
+    cache.fill(0x1000_0000, LineState::Exclusive);
+    report("cache/hit", 1_000_000, || {
+        black_box(cache.access(black_box(0x1000_0000), false));
     });
-    g.bench_function("streaming_misses", |b| {
-        let mut cache = Cache::new(geom);
-        let mut a = 0x1000_0000u64;
-        b.iter(|| {
-            a += 32;
-            let r = cache.access(black_box(a), true);
-            cache.fill(a, LineState::Modified);
-            r
-        })
-    });
-    g.finish();
-}
-
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("resource_serve", |b| {
-        let mut r = Resource::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 10;
-            r.serve(black_box(t), 7)
-        })
+    let mut cache = Cache::new(geom);
+    let mut a = 0x1000_0000u64;
+    report("cache/streaming_misses", 1_000_000, || {
+        a += 32;
+        black_box(cache.access(black_box(a), true));
+        cache.fill(a, LineState::Modified);
     });
 }
 
-criterion_group!(benches, bench_diff, bench_cache, bench_resource);
-criterion_main!(benches);
+fn bench_resource() {
+    let mut r = Resource::new();
+    let mut t = 0u64;
+    report("resource_serve", 1_000_000, || {
+        t += 10;
+        black_box(r.serve(black_box(t), 7));
+    });
+}
+
+fn main() {
+    bench_diff();
+    bench_cache();
+    bench_resource();
+}

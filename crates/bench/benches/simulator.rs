@@ -1,60 +1,67 @@
 //! Scheduler and synchronization-path benchmarks: wall-clock cost of the
 //! simulation machinery itself.
-use bench::{dsm, smp, svm};
-use criterion::{criterion_group, criterion_main, Criterion};
-use sim_core::{run, Placement, RunConfig, HEAP_BASE};
+//!
+//! Plain `std::time` timing loops (originally criterion harnesses). Run with
+//! `cargo bench -p bench --bench simulator`.
 
-fn bench_access_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("access_path");
-    g.sample_size(10);
+use bench::{dsm, smp, svm};
+use sim_core::{run, Placement, RunConfig, HEAP_BASE};
+use std::time::Instant;
+
+fn report(name: &str, iters: u64, mut f: impl FnMut()) {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{name:<32} {:>10.2} ms/iter ({iters} iters)",
+        dt.as_secs_f64() * 1e3 / iters as f64
+    );
+}
+
+fn bench_access_path() {
     for (name, mk) in [
         ("svm", svm as fn(usize) -> Box<dyn sim_core::Platform>),
         ("dsm", dsm),
         ("smp", smp),
     ] {
-        g.bench_function(format!("100k_local_loads_{name}"), |b| {
-            b.iter(|| {
-                run(mk(1), RunConfig::new(1), |p| {
-                    p.alloc_shared(1 << 16, 8, Placement::Node(0));
-                    p.start_timing();
-                    for i in 0..100_000u64 {
-                        p.load(HEAP_BASE + (i % 8192) * 8, 8);
-                    }
-                })
-            })
+        report(&format!("100k_local_loads_{name}"), 10, || {
+            run(mk(1), RunConfig::new(1), |p| {
+                p.alloc_shared(1 << 16, 8, Placement::Node(0));
+                p.start_timing();
+                for i in 0..100_000u64 {
+                    p.load(HEAP_BASE + (i % 8192) * 8, 8);
+                }
+            });
         });
     }
-    g.finish();
 }
 
-fn bench_sync(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sync");
-    g.sample_size(10);
-    g.bench_function("barrier_1k_x4procs_svm", |b| {
-        b.iter(|| {
-            run(svm(4), RunConfig::new(4), |p| {
-                p.start_timing();
-                for i in 0..1000 {
-                    p.barrier(i % 7);
-                }
-            })
-        })
+fn bench_sync() {
+    report("barrier_1k_x4procs_svm", 10, || {
+        run(svm(4), RunConfig::new(4), |p| {
+            p.start_timing();
+            for i in 0..1000 {
+                p.barrier(i % 7);
+            }
+        });
     });
-    g.bench_function("lock_pingpong_1k_x2procs_svm", |b| {
-        b.iter(|| {
-            run(svm(2), RunConfig::new(2), |p| {
-                p.start_timing();
-                for _ in 0..1000 {
-                    p.lock(1);
-                    p.work(10);
-                    p.unlock(1);
-                }
-                p.barrier(0);
-            })
-        })
+    report("lock_pingpong_1k_x2procs_svm", 10, || {
+        run(svm(2), RunConfig::new(2), |p| {
+            p.start_timing();
+            for _ in 0..1000 {
+                p.lock(1);
+                p.work(10);
+                p.unlock(1);
+            }
+            p.barrier(0);
+        });
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_access_path, bench_sync);
-criterion_main!(benches);
+fn main() {
+    bench_access_path();
+    bench_sync();
+}

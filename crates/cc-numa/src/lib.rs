@@ -158,7 +158,7 @@ impl DsmPlatform {
             let owner = owner as usize;
             if owner != pid {
                 stall += 2 * self.cfg.hop; // forward + cache-to-cache reply
-                // Owner's copy downgrades (read) or invalidates (write).
+                                           // Owner's copy downgrades (read) or invalidates (write).
                 let la = line;
                 if write {
                     self.nodes[owner].l1.set_state(la, LineState::Invalid);
@@ -364,7 +364,11 @@ mod tests {
     use sim_core::{run, Placement, RunConfig, HEAP_BASE};
 
     fn dsm_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-        run(DsmPlatform::boxed(DsmConfig::paper(n)), RunConfig::new(n), f)
+        run(
+            DsmPlatform::boxed(DsmConfig::paper(n)),
+            RunConfig::new(n),
+            f,
+        )
     }
 
     #[test]

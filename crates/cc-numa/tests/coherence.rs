@@ -6,7 +6,11 @@ use cc_numa::{DsmConfig, DsmPlatform};
 use sim_core::{run, Bucket, Placement, RunConfig, HEAP_BASE};
 
 fn dsm_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-    run(DsmPlatform::boxed(DsmConfig::paper(n)), RunConfig::new(n), f)
+    run(
+        DsmPlatform::boxed(DsmConfig::paper(n)),
+        RunConfig::new(n),
+        f,
+    )
 }
 
 #[test]
@@ -87,7 +91,10 @@ fn write_invalidation_cost_scales_with_sharers() {
         });
         stats.procs[0].get(Bucket::CacheStall) + stats.procs[0].get(Bucket::DataWait)
     };
-    assert!(cost(7) > cost(1), "more sharers must cost more to invalidate");
+    assert!(
+        cost(7) > cost(1),
+        "more sharers must cost more to invalidate"
+    );
 }
 
 #[test]

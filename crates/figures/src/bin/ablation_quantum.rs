@@ -32,7 +32,10 @@ fn run_with_quantum(params: &OceanParams, nprocs: usize, quantum: u64) -> u64 {
     // with a custom quantum, so drive the platform directly with the same
     // configuration the apps use.
     let platform = apps::Platform::Svm.boxed(nprocs);
-    let cfg = RunConfig { nprocs, quantum };
+    let cfg = RunConfig {
+        quantum,
+        ..RunConfig::new(nprocs)
+    };
     let stats = sim_core::run(platform, cfg, |p| {
         // A relaxation kernel with the Ocean communication structure.
         use sim_core::Placement;
@@ -49,7 +52,11 @@ fn run_with_quantum(params: &OceanParams, nprocs: usize, quantum: u64) -> u64 {
         let rows = n - 2;
         let per = rows / p.nprocs();
         let r0 = 1 + p.pid() * per;
-        let r1 = if p.pid() == p.nprocs() - 1 { n - 2 } else { r0 + per - 1 };
+        let r1 = if p.pid() == p.nprocs() - 1 {
+            n - 2
+        } else {
+            r0 + per - 1
+        };
         for _sweep in 0..params.sweeps {
             for i in r0..=r1 {
                 for j in 1..n - 1 {

@@ -14,7 +14,16 @@ fn main() {
     let base = volrend::run(Platform::Svm, 1, opts.scale, VolrendVersion::Orig)
         .stats
         .total_cycles();
-    let st = volrend::run(Platform::Svm, opts.nprocs, opts.scale, VolrendVersion::Balanced).stats;
+    let st = volrend::run(
+        Platform::Svm,
+        opts.nprocs,
+        opts.scale,
+        VolrendVersion::Balanced,
+    )
+    .stats;
     println!("{}", breakdown_table(&st));
-    println!("speedup vs uniprocessor original: {:.2}", base as f64 / st.total_cycles() as f64);
+    println!(
+        "speedup vs uniprocessor original: {:.2}",
+        base as f64 / st.total_cycles() as f64
+    );
 }

@@ -1,6 +1,6 @@
 //! Figure 8: Volrend with the balanced task partition, no stealing.
-use apps::Platform;
 use apps::volrend::{self, VolrendVersion};
+use apps::Platform;
 use figures::{breakdown_table, header, parse_args};
 
 fn main() {
@@ -23,5 +23,8 @@ fn main() {
     )
     .stats;
     println!("{}", breakdown_table(&st));
-    println!("speedup vs uniprocessor original: {:.2}", base as f64 / st.total_cycles() as f64);
+    println!(
+        "speedup vs uniprocessor original: {:.2}",
+        base as f64 / st.total_cycles() as f64
+    );
 }

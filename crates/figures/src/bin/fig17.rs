@@ -24,14 +24,9 @@ fn main() {
         let with = volrend::run(pf, opts.nprocs, opts.scale, VolrendVersion::Balanced)
             .stats
             .total_cycles();
-        let without = volrend::run(
-            pf,
-            opts.nprocs,
-            opts.scale,
-            VolrendVersion::BalancedNoSteal,
-        )
-        .stats
-        .total_cycles();
+        let without = volrend::run(pf, opts.nprocs, opts.scale, VolrendVersion::BalancedNoSteal)
+            .stats
+            .total_cycles();
         println!(
             "{:<10} {:>13.2}x {:>13.2}x {:>17.0}%",
             pf.name(),

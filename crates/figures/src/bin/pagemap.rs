@@ -43,7 +43,11 @@ fn ocean_body_shim(p: &mut sim_core::Proc, params: &OceanParams) {
     let rows = n - 2;
     let per = rows / p.nprocs();
     let r0 = 1 + p.pid() * per;
-    let r1 = if p.pid() == p.nprocs() - 1 { n - 2 } else { r0 + per - 1 };
+    let r1 = if p.pid() == p.nprocs() - 1 {
+        n - 2
+    } else {
+        r0 + per - 1
+    };
     for _sweep in 0..2 * params.sweeps {
         for i in r0..=r1 {
             for j in 1..n - 1 {

@@ -18,7 +18,10 @@ fn main() {
          pay one round trip per writer",
     );
     let mut r = Runner::new();
-    println!("{:<12} {:>10} {:>10} {:>10}", "App", "HLRC", "TMK", "HLRC/TMK");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "App", "HLRC", "TMK", "HLRC/TMK"
+    );
     for app in App::ALL {
         let h = r.speedup(app, OptClass::Orig, Platform::Svm, opts);
         let t = r.speedup(app, OptClass::Orig, Platform::Tmk, opts);

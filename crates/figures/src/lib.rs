@@ -80,7 +80,11 @@ impl Runner {
     /// Uniprocessor cycles of the original version (cached).
     pub fn baseline(&mut self, app: App, platform: Platform, opts: Opts) -> u64 {
         *self.baselines.entry((app, platform)).or_insert_with(|| {
-            eprintln!("  [baseline] {} on {} (1 proc)...", app.name(), platform.name());
+            eprintln!(
+                "  [baseline] {} on {} (1 proc)...",
+                app.name(),
+                platform.name()
+            );
             AppSpec {
                 app,
                 class: OptClass::Orig,

@@ -188,8 +188,7 @@ impl TmkPlatform {
                 }
                 let pg = self.page_bytes() * self.cfg.io_cyc_per_byte;
                 let (_, out_end) = self.nodes[src].io_out.serve(svc, pg);
-                let (_, in_end) = self
-                    .nodes[pid]
+                let (_, in_end) = self.nodes[pid]
                     .io_in
                     .serve(out_end + self.cfg.wire_latency, pg);
                 done = done.max(in_end + self.page_bytes() / 2);
@@ -201,26 +200,25 @@ impl TmkPlatform {
             for w in writers {
                 let (_, req_out) = self.nodes[pid].io_out.serve(done, ctrl);
                 let arr = req_out + self.cfg.wire_latency;
-                let svc_dur = self.cfg.handler_cost
-                    + suffix_words * self.cfg.diff_scan_per_word;
+                let svc_dur = self.cfg.handler_cost + suffix_words * self.cfg.diff_scan_per_word;
                 let (_, svc) = self.nodes[w].handler.serve(arr, svc_dur);
                 self.nodes[w].debt += svc_dur;
                 let bytes = (suffix_runs * 8 + suffix_words * 4 + self.cfg.ctrl_msg_bytes)
                     * self.cfg.io_cyc_per_byte;
                 let (_, out_end) = self.nodes[w].io_out.serve(svc, bytes);
-                let (_, in_end) = self
-                    .nodes[pid]
+                let (_, in_end) = self.nodes[pid]
                     .io_in
                     .serve(out_end + self.cfg.wire_latency, bytes);
-                let applied_at = in_end
-                    + suffix_words * self.cfg.diff_apply_per_word
-                    + suffix_runs * 8;
+                let applied_at =
+                    in_end + suffix_words * self.cfg.diff_apply_per_word + suffix_runs * 8;
                 done = done.max(applied_at);
                 t.stats.counters.bytes_transferred += bytes / self.cfg.io_cyc_per_byte;
             }
             t.advance_to(Bucket::DataWait, done);
         }
-        self.nodes[pid].pages.insert(page, PageEntry::copy_of(&contents));
+        self.nodes[pid]
+            .pages
+            .insert(page, PageEntry::copy_of(&contents));
         self.nodes[pid].applied.insert(page, chain_len);
         let base = page << self.page_shift;
         let len = self.page_bytes();
@@ -243,9 +241,7 @@ impl TmkPlatform {
             .is_none_or(|l| l.chain.is_empty());
         if virgin && !self.logs_by_page.contains_key(&page) {
             let ps = self.cfg.page_size;
-            self.nodes[t.pid]
-                .pages
-                .insert(page, PageEntry::zeroed(ps));
+            self.nodes[t.pid].pages.insert(page, PageEntry::zeroed(ps));
             self.nodes[t.pid].applied.insert(page, 0);
         } else {
             self.fetch_page(t, page);
@@ -339,8 +335,7 @@ impl TmkPlatform {
                 let twin = entry.twin.take().expect("dirty page without twin");
                 let diff = Diff::create(&twin, &entry.frame);
                 if timing_on {
-                    acc.cycles +=
-                        self.cfg.words_per_page() * self.cfg.diff_scan_per_word;
+                    acc.cycles += self.cfg.words_per_page() * self.cfg.diff_scan_per_word;
                 }
                 let log = self.log_entry(page);
                 log.chain.push(ArchivedDiff { writer: g, diff });
@@ -569,7 +564,11 @@ mod tests {
     use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
 
     fn tmk_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-        run(TmkPlatform::boxed(SvmConfig::paper(n)), RunConfig::new(n), f)
+        run(
+            TmkPlatform::boxed(SvmConfig::paper(n)),
+            RunConfig::new(n),
+            f,
+        )
     }
 
     #[test]

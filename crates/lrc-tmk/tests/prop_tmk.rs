@@ -2,22 +2,23 @@
 //! (the same harness as `svm-hlrc`'s `prop_protocol`, retargeted): every
 //! write must be visible to every processor after the next barrier, under
 //! arbitrary interleaving, false sharing and placement.
+//!
+//! Seeded [`XorShift64`] sweeps (originally `proptest`): failures reproduce
+//! exactly.
 
 use lrc_tmk::TmkPlatform;
-use proptest::prelude::*;
+use sim_core::util::XorShift64;
 use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
 use svm_hlrc::SvmConfig;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn randomized_drf_program_is_correct_on_tmk(
-        nprocs in 2usize..5,
-        epochs in 1usize..4,
-        writes_per_epoch in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn randomized_drf_program_is_correct_on_tmk() {
+    for case in 0..10u64 {
+        let mut rng = XorShift64::new(0x7A4B ^ (case << 8));
+        let nprocs = 2 + rng.below(3) as usize;
+        let epochs = 1 + rng.below(3) as usize;
+        let writes_per_epoch = 1 + rng.below(11) as usize;
+        let seed = rng.next_u64();
         let npages = 4u64;
         let slots_per_proc = 64usize;
         let expected = std::sync::Mutex::new(vec![0u64; nprocs * slots_per_proc]);
@@ -34,7 +35,7 @@ proptest! {
                 let slot_addr = move |q: usize, s: usize| {
                     HEAP_BASE + (((s * np + q) * 8) as u64) % (npages * PAGE_SIZE - 8)
                 };
-                let mut rng = sim_core::util::XorShift64::new(seed ^ p.pid() as u64);
+                let mut rng = XorShift64::new(seed ^ p.pid() as u64);
                 for epoch in 0..epochs {
                     for _ in 0..writes_per_epoch {
                         let s = rng.below(slots_per_proc as u64) as usize;
@@ -57,13 +58,15 @@ proptest! {
             },
         );
     }
+}
 
-    #[test]
-    fn randomized_lock_programs_are_correct_on_tmk(
-        nprocs in 2usize..5,
-        rounds in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn randomized_lock_programs_are_correct_on_tmk() {
+    for case in 0..10u64 {
+        let mut rng = XorShift64::new(0x10CC ^ (case << 8));
+        let nprocs = 2 + rng.below(3) as usize;
+        let rounds = 1 + rng.below(11) as usize;
+        let seed = rng.next_u64();
         // Shared counters incremented under a lock: TMK's diff chains and
         // per-writer gathers must still deliver atomic read-modify-write.
         let total = std::sync::Mutex::new(0u64);
@@ -76,7 +79,7 @@ proptest! {
                 }
                 p.barrier(0);
                 p.start_timing();
-                let mut rng = sim_core::util::XorShift64::new(seed ^ (p.pid() as u64) << 8);
+                let mut rng = XorShift64::new(seed ^ (p.pid() as u64) << 8);
                 for _ in 0..rounds {
                     let slot = rng.below(4);
                     p.lock(slot as u32);
@@ -96,6 +99,6 @@ proptest! {
                 p.barrier(2);
             },
         );
-        prop_assert_eq!(total.into_inner().unwrap(), (nprocs * rounds) as u64);
+        assert_eq!(total.into_inner().unwrap(), (nprocs * rounds) as u64);
     }
 }

@@ -34,6 +34,9 @@ struct Region {
     first_page: u64,
     last_page: u64,
     policy: Placement,
+    /// Diagnostic name (`alloc_labeled`); the race detector attaches it to
+    /// reports so a race reads "in `hist`" rather than a bare address.
+    label: &'static str,
 }
 
 /// Page → home-node map built up from allocations.
@@ -58,23 +61,16 @@ impl PlacementMap {
     pub fn home_of(&mut self, addr: Addr, toucher: usize) -> usize {
         let page = page_of(addr);
         // Regions are sorted by construction (bump allocator): binary search.
-        let idx = self
-            .regions
-            .partition_point(|r| r.last_page < page);
+        let idx = self.regions.partition_point(|r| r.last_page < page);
         if let Some(r) = self.regions.get(idx) {
             if page >= r.first_page && page <= r.last_page {
                 return match r.policy {
                     Placement::Node(n) => n % self.nprocs,
-                    Placement::RoundRobin => {
-                        ((page - r.first_page) % self.nprocs as u64) as usize
-                    }
+                    Placement::RoundRobin => ((page - r.first_page) % self.nprocs as u64) as usize,
                     Placement::Blocked { chunk_pages } => {
-                        (((page - r.first_page) / chunk_pages.max(1)) % self.nprocs as u64)
-                            as usize
+                        (((page - r.first_page) / chunk_pages.max(1)) % self.nprocs as u64) as usize
                     }
-                    Placement::FirstTouch => {
-                        *self.first_touch.entry(page).or_insert(toucher)
-                    }
+                    Placement::FirstTouch => *self.first_touch.entry(page).or_insert(toucher),
                 };
             }
         }
@@ -94,9 +90,9 @@ impl PlacementMap {
         match r.policy {
             Placement::Node(n) => Some(n % self.nprocs),
             Placement::RoundRobin => Some(((page - r.first_page) % self.nprocs as u64) as usize),
-            Placement::Blocked { chunk_pages } => Some(
-                (((page - r.first_page) / chunk_pages.max(1)) % self.nprocs as u64) as usize,
-            ),
+            Placement::Blocked { chunk_pages } => {
+                Some((((page - r.first_page) / chunk_pages.max(1)) % self.nprocs as u64) as usize)
+            }
             Placement::FirstTouch => self.first_touch.get(&page).copied(),
         }
     }
@@ -122,15 +118,26 @@ impl GlobalAlloc {
     /// allocating node `owner`. Placement policies are page-granular, so the
     /// allocation is padded out to page boundaries whenever the policy cares
     /// about pages and the allocation spans any.
-    pub fn alloc(&mut self, bytes: u64, align: u64, policy: Placement, _owner: usize) -> Addr {
+    pub fn alloc(&mut self, bytes: u64, align: u64, policy: Placement, owner: usize) -> Addr {
+        self.alloc_labeled("", bytes, align, policy, owner)
+    }
+
+    /// Like [`GlobalAlloc::alloc`], tagging the region with a diagnostic
+    /// `label` reported by the race detector.
+    pub fn alloc_labeled(
+        &mut self,
+        label: &'static str,
+        bytes: u64,
+        align: u64,
+        policy: Placement,
+        _owner: usize,
+    ) -> Addr {
         assert!(bytes > 0, "zero-size shared allocation");
         let align = align.max(1);
         // Distinct placement regions must start on fresh pages, otherwise two
         // regions would share a page and the home would be ambiguous.
         let start = match policy {
-            Placement::Node(_) if self.page_compatible(policy) => {
-                align_up(self.next, align)
-            }
+            Placement::Node(_) if self.page_compatible(policy) => align_up(self.next, align),
             _ => align_up(align_up(self.next, PAGE_SIZE), align),
         };
         let end = start + bytes;
@@ -141,6 +148,7 @@ impl GlobalAlloc {
         // otherwise the next region must begin on a fresh page.
         if let Some(last) = self.map.regions.last_mut() {
             if last.policy == policy
+                && last.label == label
                 && matches!(policy, Placement::Node(_))
                 && first_page <= last.last_page + 1
             {
@@ -152,9 +160,21 @@ impl GlobalAlloc {
             first_page,
             last_page,
             policy,
+            label,
         });
         self.enforce_sorted();
         start
+    }
+
+    /// Label of the allocation containing `addr` (empty if unlabeled or
+    /// outside every allocation).
+    pub fn label_of(&self, addr: Addr) -> &'static str {
+        let page = page_of(addr);
+        let idx = self.map.regions.partition_point(|r| r.last_page < page);
+        match self.map.regions.get(idx) {
+            Some(r) if page >= r.first_page && page <= r.last_page => r.label,
+            _ => "",
+        }
     }
 
     fn page_compatible(&self, policy: Placement) -> bool {

@@ -82,7 +82,10 @@ pub struct Cache {
 impl Cache {
     /// Build a cache with the given geometry.
     pub fn new(geom: CacheGeom) -> Self {
-        assert!(geom.line.is_power_of_two(), "line size must be power of two");
+        assert!(
+            geom.line.is_power_of_two(),
+            "line size must be power of two"
+        );
         let sets = geom.sets();
         assert!(sets.is_power_of_two(), "set count must be power of two");
         assert!(sets >= 1 && geom.ways >= 1);
@@ -91,7 +94,11 @@ impl Cache {
             line_shift: geom.line.trailing_zeros(),
             set_mask: sets - 1,
             ways: vec![
-                Way { tag: INVALID_TAG, state: LineState::Invalid, lru: 0 };
+                Way {
+                    tag: INVALID_TAG,
+                    state: LineState::Invalid,
+                    lru: 0
+                };
                 (sets * geom.ways as u64) as usize
             ],
             tick: 0,

@@ -1,0 +1,513 @@
+//! Dynamic happens-before data-race detection for simulated runs.
+//!
+//! The scheduler's determinism argument (see the crate docs) rests on every
+//! supported application being **data-race-free at the word level**: only
+//! then is the bounded virtual-time skew between processors guaranteed to
+//! perturb timings and never results. This module checks that claim at run
+//! time instead of assuming it.
+//!
+//! ## Algorithm
+//!
+//! A classic vector-clock happens-before analysis with FastTrack-style
+//! epoch compression (Flanagan & Freund, PLDI'09; lineage back to Eraser):
+//!
+//! * every processor carries a vector clock `C_p`, advanced at each
+//!   release-type operation;
+//! * every lock carries the releaser's clock, joined into the acquirer at
+//!   grant time; barriers (and the `start_timing`/`stop_timing` rendezvous)
+//!   join **all** clocks;
+//! * every aligned 4-byte shadow word remembers the epoch of its last write
+//!   and either the epoch of its last read or — after concurrent readers —
+//!   a full read vector clock ("read-share promotion").
+//!
+//! An access races when the shadow state it must supersede is not ordered
+//! before the accessor's current clock. Word granularity (4 bytes) matches
+//! the paper's "data-race-free at the word level" wording: two processors
+//! writing different *bytes* of one word unsynchronized is flagged, exactly
+//! the property the platforms' diff/merge machinery requires.
+//!
+//! The detector sees the same access stream every platform charges for —
+//! it hooks [`crate::sched`]'s `Proc::load`/`store` and the generic
+//! lock/barrier orchestration, so one implementation covers the SVM, DSM,
+//! and SMP platform models alike. It never advances clocks or statistics:
+//! a run with detection enabled produces bit-identical [`RunStats`] timing
+//! to one without (asserted by the workspace tests).
+//!
+//! [`RunStats`]: crate::stats::RunStats
+
+use crate::addr::{Addr, HEAP_BASE};
+use crate::alloc::GlobalAlloc;
+
+/// Shadow-word granularity: the detector tracks aligned 4-byte words.
+const WORD_SHIFT: u64 = 2;
+
+/// Cap on retained [`RaceReport`]s per run. Races come in bursts (one racy
+/// loop touches thousands of words); the first reports carry all the
+/// diagnostic value. The total race count keeps counting past the cap.
+const MAX_REPORTS: usize = 64;
+
+/// A vector clock: one logical-time component per processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The zero clock for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        VectorClock(vec![0; nprocs])
+    }
+
+    /// Component `p`.
+    #[inline]
+    pub fn get(&self, p: usize) -> u32 {
+        self.0[p]
+    }
+
+    /// Pointwise maximum with `other`.
+    #[inline]
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Advance component `p` (a release-type event on processor `p`).
+    #[inline]
+    pub fn tick(&mut self, p: usize) {
+        self.0[p] += 1;
+    }
+}
+
+/// A FastTrack epoch: one component of a vector clock, `clk @ pid`.
+/// `clk == 0` encodes "no such access yet".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Epoch {
+    clk: u32,
+    pid: u32,
+}
+
+impl Epoch {
+    const NONE: Epoch = Epoch { clk: 0, pid: 0 };
+
+    /// Does this epoch happen before clock `c` (or is it absent)?
+    #[inline]
+    fn before(self, c: &VectorClock) -> bool {
+        self.clk <= c.get(self.pid as usize)
+    }
+}
+
+/// Read state of a shadow word: none, one ordered reader, or a read-shared
+/// vector clock after concurrent readers.
+#[derive(Clone, Debug)]
+enum ReadSt {
+    One(Epoch),
+    Many(Box<VectorClock>),
+}
+
+/// Per-word shadow state.
+#[derive(Clone, Debug)]
+struct Shadow {
+    write: Epoch,
+    read: ReadSt,
+}
+
+impl Shadow {
+    const FRESH: Shadow = Shadow {
+        write: Epoch::NONE,
+        read: ReadSt::One(Epoch::NONE),
+    };
+}
+
+/// The kind of conflicting access pair behind a race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// A write unordered after a read.
+    ReadWrite,
+    /// A read unordered after a write.
+    WriteRead,
+}
+
+impl RaceKind {
+    /// Human-readable pair description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        }
+    }
+}
+
+/// One detected race: the first unordered access pair seen on a word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Run label (typically `App/Class`, from [`crate::RunConfig::label`]).
+    pub run: String,
+    /// Address of the racy aligned word.
+    pub addr: Addr,
+    /// Conflict kind.
+    pub kind: RaceKind,
+    /// Processor of the earlier (shadow) access.
+    pub prior_pid: usize,
+    /// Processor of the later (current) access.
+    pub pid: usize,
+    /// Label of the allocation containing `addr` (empty if the allocation
+    /// was not named or the address is outside every allocation).
+    pub alloc: String,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let run = if self.run.is_empty() {
+            "<unnamed run>"
+        } else {
+            &self.run
+        };
+        let what = if self.alloc.is_empty() {
+            "<unlabeled>"
+        } else {
+            &self.alloc
+        };
+        write!(
+            f,
+            "data race: {run}: {} on {:#x} in `{what}` between p{} and p{}",
+            self.kind.describe(),
+            self.addr,
+            self.prior_pid,
+            self.pid
+        )
+    }
+}
+
+/// The happens-before race detector attached to one run.
+///
+/// Owned by the scheduler (`sched::Inner`) when [`crate::RunConfig`]
+/// enables `detect_races`; when disabled, no instance exists and the only
+/// per-access cost is one `Option` test.
+#[derive(Debug)]
+pub struct RaceDetector {
+    nprocs: usize,
+    run_label: String,
+    /// Per-processor vector clocks.
+    clocks: Vec<VectorClock>,
+    /// Clock of the last release of each lock.
+    lock_rel: crate::util::FxMap<u32, VectorClock>,
+    /// Dense shadow memory, indexed by `(addr - HEAP_BASE) >> WORD_SHIFT`
+    /// (the heap is bump-allocated, so the index space is compact).
+    shadow: Vec<Shadow>,
+    /// Words already reported (one report per word keeps output readable).
+    reported: crate::util::FxSet<u64>,
+    /// Retained reports (capped at [`MAX_REPORTS`]).
+    reports: Vec<RaceReport>,
+    /// Total racy words detected, including past the report cap.
+    nraces: u64,
+}
+
+impl RaceDetector {
+    /// A detector for `nprocs` processors; `run_label` tags reports.
+    pub fn new(nprocs: usize, run_label: String) -> Self {
+        let clocks = (0..nprocs)
+            .map(|p| {
+                let mut c = VectorClock::new(nprocs);
+                // Each processor starts in its own epoch 1: accesses before
+                // any synchronization are unordered across processors.
+                c.tick(p);
+                c
+            })
+            .collect();
+        RaceDetector {
+            nprocs,
+            run_label,
+            clocks,
+            lock_rel: Default::default(),
+            shadow: Vec::new(),
+            reported: Default::default(),
+            reports: Vec::new(),
+            nraces: 0,
+        }
+    }
+
+    #[inline]
+    fn word_span(addr: Addr, len: u8) -> (u64, u64) {
+        debug_assert!(addr >= HEAP_BASE, "detector access below heap base");
+        let first = (addr - HEAP_BASE) >> WORD_SHIFT;
+        let last = (addr - HEAP_BASE + len as u64 - 1) >> WORD_SHIFT;
+        (first, last)
+    }
+
+    #[inline]
+    fn epoch_of(&self, pid: usize) -> Epoch {
+        Epoch {
+            clk: self.clocks[pid].get(pid),
+            pid: pid as u32,
+        }
+    }
+
+    fn record(
+        &mut self,
+        w: u64,
+        kind: RaceKind,
+        prior_pid: usize,
+        pid: usize,
+        alloc: &GlobalAlloc,
+    ) {
+        if !self.reported.insert(w) {
+            return;
+        }
+        self.nraces += 1;
+        if self.reports.len() >= MAX_REPORTS {
+            return;
+        }
+        let addr = HEAP_BASE + (w << WORD_SHIFT);
+        self.reports.push(RaceReport {
+            run: self.run_label.clone(),
+            addr,
+            kind,
+            prior_pid,
+            pid,
+            alloc: alloc.label_of(addr).to_string(),
+        });
+    }
+
+    /// A shared-memory write of `len` bytes at `addr` by `pid`.
+    pub fn on_write(&mut self, pid: usize, addr: Addr, len: u8, alloc: &GlobalAlloc) {
+        let (first, last) = Self::word_span(addr, len);
+        let me = self.epoch_of(pid);
+        for w in first..=last {
+            let c = &self.clocks[pid];
+            let sh = {
+                // Split-borrow: shadow access needs &mut self.
+                let idx = w as usize;
+                if idx >= self.shadow.len() {
+                    let want = (idx + 1).next_power_of_two();
+                    self.shadow.resize(want, Shadow::FRESH);
+                }
+                &mut self.shadow[idx]
+            };
+            // Write-write conflict.
+            if !sh.write.before(c) {
+                let prior = sh.write.pid as usize;
+                sh.write = me;
+                sh.read = ReadSt::One(Epoch::NONE);
+                self.record(w, RaceKind::WriteWrite, prior, pid, alloc);
+                continue;
+            }
+            // Read-write conflicts.
+            let racer = match &sh.read {
+                ReadSt::One(e) => (!e.before(c)).then_some(e.pid as usize),
+                ReadSt::Many(v) => (0..self.nprocs).find(|&q| v.get(q) > c.get(q)),
+            };
+            // This write supersedes all ordered prior state: later accesses
+            // ordered after it are transitively ordered after those, so the
+            // read state can be dropped (FastTrack's write fast path).
+            sh.write = me;
+            sh.read = ReadSt::One(Epoch::NONE);
+            if let Some(prior) = racer {
+                self.record(w, RaceKind::ReadWrite, prior, pid, alloc);
+            }
+        }
+    }
+
+    /// A shared-memory read of `len` bytes at `addr` by `pid`.
+    pub fn on_read(&mut self, pid: usize, addr: Addr, len: u8, alloc: &GlobalAlloc) {
+        let (first, last) = Self::word_span(addr, len);
+        let me = self.epoch_of(pid);
+        for w in first..=last {
+            let c = &self.clocks[pid];
+            let idx = w as usize;
+            if idx >= self.shadow.len() {
+                let want = (idx + 1).next_power_of_two();
+                self.shadow.resize(want, Shadow::FRESH);
+            }
+            let sh = &mut self.shadow[idx];
+            // Write-read conflict.
+            let racy = (!sh.write.before(c)).then_some(sh.write.pid as usize);
+            // Update read state: stay in the cheap epoch representation
+            // while reads are totally ordered; promote to a full vector
+            // clock on the first concurrent reader pair.
+            match &mut sh.read {
+                ReadSt::One(e) => {
+                    if e.pid as usize == pid || e.before(c) {
+                        *e = me;
+                    } else {
+                        let mut v = VectorClock::new(self.nprocs);
+                        v.0[e.pid as usize] = e.clk;
+                        v.0[pid] = me.clk;
+                        sh.read = ReadSt::Many(Box::new(v));
+                    }
+                }
+                ReadSt::Many(v) => {
+                    v.0[pid] = me.clk;
+                }
+            }
+            if let Some(prior) = racy {
+                self.record(w, RaceKind::WriteRead, prior, pid, alloc);
+            }
+        }
+    }
+
+    /// Lock `id` granted to `pid`: join the last releaser's clock.
+    pub fn on_acquire(&mut self, pid: usize, id: u32) {
+        if let Some(rel) = self.lock_rel.get(&id) {
+            self.clocks[pid].join(rel);
+        }
+    }
+
+    /// `pid` releases lock `id`: publish its clock and enter a new epoch.
+    pub fn on_release(&mut self, pid: usize, id: u32) {
+        self.lock_rel.insert(id, self.clocks[pid].clone());
+        self.clocks[pid].tick(pid);
+    }
+
+    /// A full-membership rendezvous (barrier, `start_timing`,
+    /// `stop_timing`): everyone joins everyone, then each processor enters
+    /// a new epoch.
+    pub fn on_barrier(&mut self) {
+        let mut all = VectorClock::new(self.nprocs);
+        for c in &self.clocks {
+            all.join(c);
+        }
+        for (p, c) in self.clocks.iter_mut().enumerate() {
+            *c = all.clone();
+            c.tick(p);
+        }
+    }
+
+    /// Total number of distinct racy words detected so far.
+    pub fn race_count(&self) -> u64 {
+        self.nraces
+    }
+
+    /// Consume the detector, returning its retained reports.
+    pub fn into_reports(self) -> Vec<RaceReport> {
+        self.reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Placement;
+
+    fn alloc_with_label(label: &'static str) -> (GlobalAlloc, Addr) {
+        let mut a = GlobalAlloc::new(4);
+        let base = a.alloc_labeled(label, 4096, 8, Placement::RoundRobin, 0);
+        (a, base)
+    }
+
+    #[test]
+    fn unordered_writes_race() {
+        let (a, base) = alloc_with_label("buf");
+        let mut d = RaceDetector::new(2, "unit".into());
+        d.on_write(0, base, 8, &a);
+        d.on_write(1, base, 8, &a);
+        assert_eq!(d.race_count(), 2); // both 4-byte words of the 8-byte store
+        let r = &d.reports[0];
+        assert_eq!(r.kind, RaceKind::WriteWrite);
+        assert_eq!(r.alloc, "buf");
+        assert_eq!((r.prior_pid, r.pid), (0, 1));
+        assert!(r.to_string().contains("write-write"));
+    }
+
+    #[test]
+    fn barrier_orders_write_then_read() {
+        let (a, base) = alloc_with_label("buf");
+        let mut d = RaceDetector::new(2, "unit".into());
+        d.on_write(0, base, 8, &a);
+        d.on_barrier();
+        d.on_read(1, base, 8, &a);
+        d.on_write(1, base + 8, 4, &a);
+        assert_eq!(d.race_count(), 0);
+    }
+
+    #[test]
+    fn unordered_read_after_write_races() {
+        let (a, base) = alloc_with_label("buf");
+        let mut d = RaceDetector::new(2, "unit".into());
+        d.on_write(0, base, 4, &a);
+        d.on_read(1, base, 4, &a);
+        assert_eq!(d.race_count(), 1);
+        assert_eq!(d.reports[0].kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn lock_chain_orders_accesses() {
+        let (a, base) = alloc_with_label("counter");
+        let mut d = RaceDetector::new(3, "unit".into());
+        for pid in 0..3 {
+            d.on_acquire(pid, 7);
+            d.on_read(pid, base, 8, &a);
+            d.on_write(pid, base, 8, &a);
+            d.on_release(pid, 7);
+        }
+        assert_eq!(d.race_count(), 0);
+    }
+
+    #[test]
+    fn lock_on_only_one_side_races() {
+        let (a, base) = alloc_with_label("counter");
+        let mut d = RaceDetector::new(2, "unit".into());
+        d.on_acquire(0, 7);
+        d.on_write(0, base, 8, &a);
+        d.on_release(0, 7);
+        // p1 writes without the lock.
+        d.on_write(1, base, 8, &a);
+        assert_eq!(d.race_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race_and_promote() {
+        let (a, base) = alloc_with_label("ro");
+        let mut d = RaceDetector::new(4, "unit".into());
+        d.on_write(0, base, 4, &a);
+        d.on_barrier();
+        for pid in 0..4 {
+            d.on_read(pid, base, 4, &a);
+        }
+        assert_eq!(d.race_count(), 0);
+        // A later unordered write must see all readers through the
+        // promoted read vector clock.
+        d.on_write(3, base, 4, &a);
+        assert_eq!(d.race_count(), 1);
+        assert_eq!(d.reports[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn racy_word_is_reported_once() {
+        let (a, base) = alloc_with_label("w");
+        let mut d = RaceDetector::new(2, "unit".into());
+        for _ in 0..10 {
+            d.on_write(0, base, 4, &a);
+            d.on_write(1, base, 4, &a);
+        }
+        assert_eq!(d.race_count(), 1);
+        assert_eq!(d.into_reports().len(), 1);
+    }
+
+    #[test]
+    fn report_cap_keeps_counting() {
+        let mut a = GlobalAlloc::new(2);
+        let base = a.alloc_labeled("big", 64 * 4096, 8, Placement::RoundRobin, 0);
+        let mut d = RaceDetector::new(2, "unit".into());
+        for i in 0..(MAX_REPORTS as u64 + 50) {
+            d.on_write(0, base + i * 4, 4, &a);
+            d.on_write(1, base + i * 4, 4, &a);
+        }
+        assert_eq!(d.race_count(), MAX_REPORTS as u64 + 50);
+        assert_eq!(d.into_reports().len(), MAX_REPORTS);
+    }
+
+    #[test]
+    fn vector_clock_join_and_tick() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(b.get(2), 0);
+    }
+}

@@ -42,6 +42,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod cache;
+pub mod detector;
 pub mod mem;
 pub mod platform;
 pub mod resource;
@@ -53,9 +54,10 @@ pub mod view;
 pub use addr::{Addr, HEAP_BASE, PAGE_SHIFT, PAGE_SIZE};
 pub use alloc::{GlobalAlloc, Placement, PlacementMap};
 pub use cache::{Cache, CacheGeom, LineState, Lookup};
+pub use detector::{RaceDetector, RaceKind, RaceReport, VectorClock};
 pub use mem::FlatMem;
 pub use platform::{NullPlatform, Platform, Timing};
 pub use resource::Resource;
 pub use sched::{run, run_profiled, Proc, RunConfig};
 pub use stats::{Bucket, Counter, ProcStats, RunStats, MAX_PHASES};
-pub use view::{Grid2, Grid4, GArr, Word};
+pub use view::{GArr, Grid2, Grid4, Word};

@@ -16,10 +16,10 @@
 //! mutex. Repeated runs therefore produce bit-identical statistics, which the
 //! integration tests assert.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::alloc::{GlobalAlloc, Placement};
+use crate::detector::RaceDetector;
 use crate::platform::{Platform, Timing};
 use crate::stats::{Bucket, ProcStats, RunStats};
 use crate::util::FxMap;
@@ -34,6 +34,13 @@ pub struct RunConfig {
     /// clock exceeds the minimum runnable clock by more than this. Smaller
     /// values tighten virtual-time ordering at the cost of more hand-offs.
     pub quantum: u64,
+    /// Enable the happens-before race detector (see [`crate::detector`]).
+    /// Off by default: the fast path then pays only an `Option` test per
+    /// access, and timing statistics are bit-identical either way.
+    pub detect_races: bool,
+    /// Diagnostic name for this run (e.g. `"LU/Alg"`), attached to race
+    /// reports.
+    pub label: String,
 }
 
 impl RunConfig {
@@ -42,7 +49,21 @@ impl RunConfig {
         Self {
             nprocs,
             quantum: 2_000,
+            detect_races: false,
+            label: String::new(),
         }
+    }
+
+    /// Enable happens-before race detection for this run.
+    pub fn with_race_detection(mut self) -> Self {
+        self.detect_races = true;
+        self
+    }
+
+    /// Name this run (race reports and diagnostics quote the label).
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 }
 
@@ -87,11 +108,23 @@ struct Inner {
     quantum: u64,
     ndone: usize,
     poisoned: Option<String>,
+    /// Present iff `RunConfig::detect_races`: the happens-before analysis
+    /// fed by every load/store and synchronization event below.
+    detector: Option<RaceDetector>,
 }
 
 struct Shared {
     inner: Mutex<Inner>,
     cvs: Vec<Condvar>,
+}
+
+impl Shared {
+    /// Lock the scheduler state. Mutex poisoning is ignored: the run has
+    /// its own poison protocol (`Inner::poisoned`), set before any panic
+    /// that unwinds while parked threads remain.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl Inner {
@@ -147,7 +180,7 @@ impl Proc {
     /// Charge `cycles` of application compute time.
     #[inline]
     pub fn work(&mut self, cycles: u64) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         if g.timing_on {
             g.clocks[self.pid] += cycles;
             let pid = self.pid;
@@ -158,21 +191,34 @@ impl Proc {
 
     /// Set the current application phase for per-phase time attribution.
     pub fn set_phase(&mut self, phase: usize) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         g.stats[pid].set_phase(phase);
     }
 
     /// Allocate shared memory (bump allocation; never freed).
     pub fn alloc_shared(&mut self, bytes: u64, align: u64, placement: Placement) -> Addr {
-        let mut g = self.shared.inner.lock();
-        g.alloc.alloc(bytes, align, placement, self.pid)
+        self.alloc_shared_labeled("", bytes, align, placement)
+    }
+
+    /// Allocate shared memory with a diagnostic label; race reports quote
+    /// the label of the allocation containing the racy word.
+    pub fn alloc_shared_labeled(
+        &mut self,
+        label: &'static str,
+        bytes: u64,
+        align: u64,
+        placement: Placement,
+    ) -> Addr {
+        let mut g = self.shared.lock();
+        g.alloc
+            .alloc_labeled(label, bytes, align, placement, self.pid)
     }
 
     /// Load `len` (1/2/4/8) bytes from the simulated shared address space.
     #[inline]
     pub fn load(&mut self, addr: Addr, len: u8) -> u64 {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let inner = &mut *g;
         let v = {
             let mut t = Timing {
@@ -184,6 +230,9 @@ impl Proc {
             };
             inner.platform.load(&mut t, addr, len)
         };
+        if let Some(d) = inner.detector.as_mut() {
+            d.on_read(self.pid, addr, len, &inner.alloc);
+        }
         self.maybe_yield(g);
         v
     }
@@ -191,7 +240,7 @@ impl Proc {
     /// Store the low `len` bytes of `val` to the simulated address space.
     #[inline]
     pub fn store(&mut self, addr: Addr, len: u8, val: u64) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let inner = &mut *g;
         {
             let mut t = Timing {
@@ -202,6 +251,9 @@ impl Proc {
                 timing_on: inner.timing_on,
             };
             inner.platform.store(&mut t, addr, len, val);
+        }
+        if let Some(d) = inner.detector.as_mut() {
+            d.on_write(self.pid, addr, len, &inner.alloc);
         }
         self.maybe_yield(g);
     }
@@ -232,7 +284,7 @@ impl Proc {
 
     /// Acquire lock `id` (blocking in virtual time).
     pub fn lock(&mut self, id: u32) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         let inner = &mut *g;
         inner.stats[pid].counters.lock_acquires += 1;
@@ -264,6 +316,9 @@ impl Proc {
                 inner.stats[pid].add(Bucket::LockWait, d);
                 inner.clocks[pid] = resume;
             }
+            if let Some(det) = inner.detector.as_mut() {
+                det.on_acquire(pid, id);
+            }
             drop(g);
         } else {
             lk.waiters.push(Waiter { pid, arrival });
@@ -274,7 +329,7 @@ impl Proc {
 
     /// Release lock `id`, granting it to the earliest-arrived waiter if any.
     pub fn unlock(&mut self, id: u32) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         let inner = &mut *g;
         let avail = {
@@ -287,6 +342,9 @@ impl Proc {
             };
             inner.platform.release(&mut t, id)
         };
+        if let Some(det) = inner.detector.as_mut() {
+            det.on_release(pid, id);
+        }
         let lk = inner
             .locks
             .get_mut(&id)
@@ -322,13 +380,16 @@ impl Proc {
             }
             inner.clocks[w.pid] = resume;
             inner.status[w.pid] = Status::Ready;
+            if let Some(det) = inner.detector.as_mut() {
+                det.on_acquire(w.pid, id);
+            }
         }
         self.maybe_yield(g);
     }
 
     /// Wait at barrier `id` until all processors arrive.
     pub fn barrier(&mut self, id: u32) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         let inner = &mut *g;
@@ -373,6 +434,9 @@ impl Proc {
                     inner.status[q] = Status::Ready;
                 }
             }
+            if let Some(det) = inner.detector.as_mut() {
+                det.on_barrier();
+            }
             self.maybe_yield(g);
         } else {
             self.block(g);
@@ -383,7 +447,7 @@ impl Proc {
     /// platform resource state: the start of the timed region. Protocol and
     /// cache *state* is preserved (warm start, as in the paper).
     pub fn start_timing(&mut self) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         g.start_arrivals += 1;
@@ -399,6 +463,9 @@ impl Proc {
                     g.status[q] = Status::Ready;
                 }
             }
+            if let Some(det) = g.detector.as_mut() {
+                det.on_barrier();
+            }
             drop(g);
         } else {
             g.blocked_at[pid] = g.clocks[pid];
@@ -410,7 +477,7 @@ impl Proc {
     /// of the timed region. Use before reading results out of simulated
     /// memory so the extraction does not pollute the measurements.
     pub fn stop_timing(&mut self) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         g.stop_arrivals += 1;
@@ -430,6 +497,9 @@ impl Proc {
                 }
             }
             g.timing_on = false;
+            if let Some(det) = g.detector.as_mut() {
+                det.on_barrier();
+            }
             drop(g);
         } else {
             g.blocked_at[pid] = g.clocks[pid];
@@ -439,12 +509,12 @@ impl Proc {
 
     /// True while the timed region is active.
     pub fn timing_on(&self) -> bool {
-        self.shared.inner.lock().timing_on
+        self.shared.lock().timing_on
     }
 
     /// Current virtual clock (cycles).
     pub fn now(&self) -> u64 {
-        self.shared.inner.lock().clocks[self.pid]
+        self.shared.lock().clocks[self.pid]
     }
 
     // ---- scheduling internals ----
@@ -452,7 +522,7 @@ impl Proc {
     /// Hand the turn over if some runnable processor has fallen more than a
     /// quantum behind this one.
     #[inline]
-    fn maybe_yield(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+    fn maybe_yield(&self, mut g: MutexGuard<'_, Inner>) {
         let pid = self.pid;
         let quantum = g.quantum;
         if let Some((next, clk)) = g.min_ready() {
@@ -468,7 +538,7 @@ impl Proc {
     }
 
     /// Unconditionally give up the turn and block until woken and scheduled.
-    fn block(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+    fn block(&self, mut g: MutexGuard<'_, Inner>) {
         let pid = self.pid;
         g.status[pid] = Status::Blocked;
         self.dispatch_next(&mut g);
@@ -477,7 +547,7 @@ impl Proc {
 
     /// Pick and wake the next runnable processor (caller already gave up the
     /// turn). Panics on deadlock.
-    fn dispatch_next(&self, g: &mut parking_lot::MutexGuard<'_, Inner>) {
+    fn dispatch_next(&self, g: &mut MutexGuard<'_, Inner>) {
         if let Some((next, _)) = g.min_ready() {
             g.status[next] = Status::Running;
             self.shared.cvs[next].notify_one();
@@ -501,7 +571,7 @@ impl Proc {
     }
 
     /// Park until scheduled (status == Running) or the run is poisoned.
-    fn wait_for_turn(&self, mut g: parking_lot::MutexGuard<'_, Inner>) {
+    fn wait_for_turn(&self, mut g: MutexGuard<'_, Inner>) {
         let pid = self.pid;
         loop {
             if let Some(msg) = &g.poisoned {
@@ -512,13 +582,15 @@ impl Proc {
             if g.status[pid] == Status::Running {
                 return;
             }
-            self.shared.cvs[pid].wait(&mut g);
+            g = self.shared.cvs[pid]
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Called when the body returns: mark Done and dispatch.
     fn finish(&self) {
-        let mut g = self.shared.inner.lock();
+        let mut g = self.shared.lock();
         let pid = self.pid;
         g.status[pid] = Status::Done;
         g.ndone += 1;
@@ -582,73 +654,91 @@ where
             quantum: cfg.quantum,
             ndone: 0,
             poisoned: None,
+            detector: cfg
+                .detect_races
+                .then(|| RaceDetector::new(nprocs, cfg.label.clone())),
         }),
         cvs: (0..nprocs).map(|_| Condvar::new()).collect(),
     });
 
-    crossbeam::thread::scope(|s| {
-        for pid in 0..nprocs {
-            let shared = Arc::clone(&shared);
-            let body = &body;
-            s.builder()
-                .name(format!("simproc-{pid}"))
-                .stack_size(16 << 20)
-                .spawn(move |_| {
-                    let mut proc = Proc {
-                        pid,
-                        nprocs,
-                        shared,
-                    };
-                    // Wait to be scheduled for the first time.
-                    {
-                        let g = proc.shared.inner.lock();
-                        proc.wait_for_turn(g);
-                    }
-                    // A panic inside a simulated processor (e.g. an
-                    // application assertion) must not strand the other
-                    // parked threads: poison the run so everyone unwinds.
-                    let result = std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| body(&mut proc)),
-                    );
-                    match result {
-                        Ok(()) => proc.finish(),
-                        Err(payload) => {
-                            let msg = payload
-                                .downcast_ref::<String>()
-                                .cloned()
-                                .or_else(|| {
-                                    payload
-                                        .downcast_ref::<&str>()
-                                        .map(|s| s.to_string())
-                                })
-                                .unwrap_or_else(|| "simulated processor panicked".into());
-                            let mut g = proc.shared.inner.lock();
-                            if g.poisoned.is_none() {
-                                g.poisoned = Some(format!("p{pid}: {msg}"));
-                            }
-                            for cv in proc.shared.cvs.iter() {
-                                cv.notify_one();
-                            }
-                            drop(g);
-                            std::panic::resume_unwind(payload);
+    let scope_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            for pid in 0..nprocs {
+                let shared = Arc::clone(&shared);
+                let body = &body;
+                std::thread::Builder::new()
+                    .name(format!("simproc-{pid}"))
+                    .stack_size(16 << 20)
+                    .spawn_scoped(s, move || {
+                        let mut proc = Proc {
+                            pid,
+                            nprocs,
+                            shared,
+                        };
+                        // Wait to be scheduled for the first time.
+                        {
+                            let g = proc.shared.lock();
+                            proc.wait_for_turn(g);
                         }
-                    }
-                })
-                .expect("spawn simulated processor");
-        }
-    })
-    .expect("simulated processor panicked");
+                        // A panic inside a simulated processor (e.g. an
+                        // application assertion) must not strand the other
+                        // parked threads: poison the run so everyone unwinds.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(&mut proc)
+                        }));
+                        match result {
+                            Ok(()) => proc.finish(),
+                            Err(payload) => {
+                                let msg = payload
+                                    .downcast_ref::<String>()
+                                    .cloned()
+                                    .or_else(|| {
+                                        payload.downcast_ref::<&str>().map(|s| s.to_string())
+                                    })
+                                    .unwrap_or_else(|| "simulated processor panicked".into());
+                                let mut g = proc.shared.lock();
+                                if g.poisoned.is_none() {
+                                    g.poisoned = Some(format!("p{pid}: {msg}"));
+                                }
+                                for cv in proc.shared.cvs.iter() {
+                                    cv.notify_one();
+                                }
+                                drop(g);
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    })
+                    .expect("spawn simulated processor");
+            }
+        });
+    }));
+    if scope_result.is_err() {
+        // Re-panic with the first simulated processor's message (std's
+        // scope reports only "a scoped thread panicked").
+        let msg = shared
+            .lock()
+            .poisoned
+            .clone()
+            .unwrap_or_else(|| "unknown panic".into());
+        panic!("simulated processor panicked: {msg}");
+    }
 
     let inner = Arc::try_unwrap(shared)
         .ok()
         .expect("all processor threads exited")
         .inner
-        .into_inner();
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let profile = inner.platform.profile();
+    let races = inner
+        .detector
+        .map(RaceDetector::into_reports)
+        .unwrap_or_default();
     (
         RunStats {
             procs: inner.stats,
             clocks: inner.clocks,
+            races,
         },
         profile,
     )
@@ -797,7 +887,10 @@ mod tests {
         // virtual arrival times, which equal request issue times here.
         let order = std::sync::Mutex::new(Vec::new());
         // A tight quantum keeps virtual-time ordering exact for this test.
-        let cfg = RunConfig { nprocs: 4, quantum: 10 };
+        let cfg = RunConfig {
+            quantum: 10,
+            ..RunConfig::new(4)
+        };
         run(Box::new(NullPlatform::new(4)), cfg, |p| {
             p.start_timing();
             // Stagger arrivals: pid k issues acquire at ~k*10 cycles.

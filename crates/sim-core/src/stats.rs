@@ -94,7 +94,7 @@ impl Counter {
 }
 
 /// Statistics for one simulated processor.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcStats {
     buckets: [u64; 6],
     per_phase: [[u64; 6]; MAX_PHASES],
@@ -165,15 +165,36 @@ impl ProcStats {
 
 /// The result of a simulated run: per-processor breakdowns plus final
 /// virtual clocks.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so replay tests can assert bit-identical runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunStats {
     /// Per-processor time breakdowns.
     pub procs: Vec<ProcStats>,
     /// Final virtual clock of each processor (cycles in the timed region).
     pub clocks: Vec<u64>,
+    /// Race reports, when the run was configured with
+    /// [`crate::RunConfig::detect_races`] (empty otherwise). One report per
+    /// racy word, capped; see [`crate::detector`].
+    pub races: Vec<crate::detector::RaceReport>,
 }
 
 impl RunStats {
+    /// Number of distinct racy words reported (0 unless the run enabled
+    /// race detection and the program raced).
+    pub fn races(&self) -> usize {
+        self.races.len()
+    }
+
+    /// Render all race reports, one per line (empty string if none).
+    pub fn race_summary(&self) -> String {
+        self.races
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     /// Execution time of the run: the maximum final clock.
     pub fn total_cycles(&self) -> u64 {
         self.clocks.iter().copied().max().unwrap_or(0)
@@ -260,6 +281,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![a, b],
             clocks: vec![50, 70],
+            races: Vec::new(),
         };
         assert_eq!(rs.total_cycles(), 70);
         assert_eq!(rs.sum(Bucket::Compute), 50);

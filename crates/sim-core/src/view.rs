@@ -329,10 +329,7 @@ mod tests {
     fn grid4_page_aligned_blocks() {
         let g: Grid4<f64> = Grid4::new(0x1000_0000, 8, 8, 4, 4, true);
         assert_eq!(g.addr(0, 4) - g.addr(0, 0), PAGE_SIZE);
-        assert_eq!(
-            Grid4::<f64>::bytes(8, 8, 4, 4, true),
-            4 * PAGE_SIZE
-        );
+        assert_eq!(Grid4::<f64>::bytes(8, 8, 4, 4, true), 4 * PAGE_SIZE);
     }
 
     #[test]

@@ -319,7 +319,11 @@ mod tests {
     use sim_core::{run, Placement, RunConfig, HEAP_BASE};
 
     fn smp_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-        run(SmpPlatform::boxed(SmpConfig::paper(n)), RunConfig::new(n), f)
+        run(
+            SmpPlatform::boxed(SmpConfig::paper(n)),
+            RunConfig::new(n),
+            f,
+        )
     }
 
     #[test]

@@ -5,7 +5,11 @@ use sim_core::{run, Bucket, Placement, RunConfig, HEAP_BASE};
 use smp_bus::{SmpConfig, SmpPlatform};
 
 fn smp_run<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-    run(SmpPlatform::boxed(SmpConfig::paper(n)), RunConfig::new(n), f)
+    run(
+        SmpPlatform::boxed(SmpConfig::paper(n)),
+        RunConfig::new(n),
+        f,
+    )
 }
 
 #[test]
@@ -113,7 +117,11 @@ fn deterministic_under_contention() {
             p.barrier(0);
             p.start_timing();
             for i in 0..256u64 {
-                p.store(HEAP_BASE + ((i * 128 + p.pid() as u64 * 8192) % (1 << 20)), 8, i);
+                p.store(
+                    HEAP_BASE + ((i * 128 + p.pid() as u64 * 8192) % (1 << 20)),
+                    8,
+                    i,
+                );
                 if i % 64 == 0 {
                     p.lock(3);
                     p.work(5);

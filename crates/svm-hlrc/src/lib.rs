@@ -182,7 +182,9 @@ impl SvmPlatform {
             let ctrl = self.cfg.ctrl_msg_bytes * self.cfg.io_cyc_per_byte;
             let (_, req_out) = self.nodes[nd].io_out.serve(*t.now, ctrl);
             let req_arr = req_out + self.cfg.wire_latency;
-            let (_, svc_end) = self.nodes[home].handler.serve(req_arr, self.cfg.handler_cost);
+            let (_, svc_end) = self.nodes[home]
+                .handler
+                .serve(req_arr, self.cfg.handler_cost);
             self.nodes[home].debt += self.cfg.handler_cost;
             let pg = self.page_bytes() * self.cfg.io_cyc_per_byte;
             let (_, out_end) = self.nodes[home].io_out.serve(svc_end, pg);
@@ -240,8 +242,7 @@ impl SvmPlatform {
                 // Write-protection trap + twin copy.
                 t.charge(
                     Bucket::HandlerCompute,
-                    self.cfg.fault_trap
-                        + self.page_bytes() / 2 * self.cfg.memcpy_cyc_per_2bytes,
+                    self.cfg.fault_trap + self.page_bytes() / 2 * self.cfg.memcpy_cyc_per_2bytes,
                 );
                 let e = self.nodes[nd].pages.get_mut(&page).unwrap();
                 e.twin = Some(e.frame.clone());
@@ -372,13 +373,12 @@ impl SvmPlatform {
         pages.sort_unstable(); // determinism: FxSet iteration order is arbitrary
         let mut all_applied = *t.now;
         for &page in &pages {
-            let still_dirty = self.nodes[nd].pages.get(&page).map(|e| e.state)
-                == Some(PState::ReadWrite);
+            let still_dirty =
+                self.nodes[nd].pages.get(&page).map(|e| e.state) == Some(PState::ReadWrite);
             if still_dirty {
-                let home = t.placement.home_of(page << self.page_shift, t.pid)
-                    / self.cfg.procs_per_node;
-                let (local, applied, bytes) =
-                    self.flush_page(nd, page, home, *t.now, t.timing_on);
+                let home =
+                    t.placement.home_of(page << self.page_shift, t.pid) / self.cfg.procs_per_node;
+                let (local, applied, bytes) = self.flush_page(nd, page, home, *t.now, t.timing_on);
                 t.charge(Bucket::HandlerCompute, local);
                 all_applied = all_applied.max(applied);
                 t.stats.counters.bytes_transferred += bytes;
@@ -406,8 +406,7 @@ impl SvmPlatform {
         acc: &mut Acc,
     ) {
         let toucher = g * self.cfg.procs_per_node;
-        let home =
-            placement.home_of(page << self.page_shift, toucher) / self.cfg.procs_per_node;
+        let home = placement.home_of(page << self.page_shift, toucher) / self.cfg.procs_per_node;
         if g == home {
             return; // the home copy is always current
         }

@@ -1,35 +1,40 @@
-//! Property-based tests of the HLRC data plane and of end-to-end protocol
+//! Randomized tests of the HLRC data plane and of end-to-end protocol
 //! correctness under randomized data-race-free programs.
+//!
+//! Originally `proptest` properties, now seeded [`XorShift64`] sweeps so the
+//! workspace builds with no external crates. Seeds are fixed: failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use sim_core::util::XorShift64;
 use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
 use svm_hlrc::{Diff, SvmConfig, SvmPlatform};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn diff_roundtrip(
-        twin in prop::collection::vec(any::<u8>(), 64..=64),
-        changes in prop::collection::vec((0usize..64, any::<u8>()), 0..32),
-    ) {
+#[test]
+fn diff_roundtrip() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64::new(0xD1FF ^ (case << 8));
+        let twin: Vec<u8> = (0..64).map(|_| rng.next_u64() as u8).collect();
         let mut dirty = twin.clone();
-        for (i, b) in changes {
-            dirty[i] = b;
+        for _ in 0..rng.below(32) {
+            let i = rng.below(64) as usize;
+            dirty[i] = rng.next_u64() as u8;
         }
         let d = Diff::create(&twin, &dirty);
         let mut target = twin.clone();
         d.apply(&mut target);
-        prop_assert_eq!(target, dirty);
+        assert_eq!(target, dirty, "case {case}");
     }
+}
 
-    #[test]
-    fn diff_is_minimal(
-        twin in prop::collection::vec(any::<u8>(), 128..=128),
-        changes in prop::collection::vec((0usize..32, any::<u32>()), 0..16),
-    ) {
+#[test]
+fn diff_is_minimal() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64::new(0x3141 ^ (case << 8));
+        let twin: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
         let mut dirty = twin.clone();
-        for (w, v) in &changes {
+        for _ in 0..rng.below(16) {
+            let w = rng.below(32) as usize;
+            let v = rng.next_u64() as u32;
             dirty[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
         let d = Diff::create(&twin, &dirty);
@@ -37,7 +42,7 @@ proptest! {
         let differing = (0..32)
             .filter(|w| dirty[w * 4..w * 4 + 4] != twin[w * 4..w * 4 + 4])
             .count();
-        prop_assert_eq!(d.len(), differing);
+        assert_eq!(d.len(), differing);
         // Run count: number of maximal contiguous runs of differing words.
         let mut runs = 0;
         let mut prev = false;
@@ -48,14 +53,14 @@ proptest! {
             }
             prev = diff;
         }
-        prop_assert_eq!(d.runs as usize, runs);
+        assert_eq!(d.runs as usize, runs, "case {case}");
     }
+}
 
-    #[test]
-    fn disjoint_writers_always_merge(
-        writes in prop::collection::vec((0usize..512, any::<u32>()), 1..64),
-        split in any::<u64>(),
-    ) {
+#[test]
+fn disjoint_writers_always_merge() {
+    for case in 0..48u64 {
+        let mut rng = XorShift64::new(0x3E26E ^ (case << 8));
         // Assign each written word to one of two writers; both diff against
         // the same twin; applying both must produce the union.
         let twin = vec![0u8; 2048];
@@ -63,11 +68,18 @@ proptest! {
         let mut w2 = twin.clone();
         let mut expect = twin.clone();
         let mut seen = std::collections::HashSet::new();
-        for (k, (w, v)) in writes.iter().enumerate() {
-            if !seen.insert(*w) {
+        let split = rng.next_u64();
+        for k in 0..(1 + rng.below(63)) {
+            let w = rng.below(512) as usize;
+            let v = rng.next_u64() as u32;
+            if !seen.insert(w) {
                 continue; // keep writers disjoint per word
             }
-            let target = if (split >> (k % 64)) & 1 == 0 { &mut w1 } else { &mut w2 };
+            let target = if (split >> (k % 64)) & 1 == 0 {
+                &mut w1
+            } else {
+                &mut w2
+            };
             target[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
             expect[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
         }
@@ -76,26 +88,24 @@ proptest! {
         let mut home = twin.clone();
         d1.apply(&mut home);
         d2.apply(&mut home);
-        prop_assert_eq!(home, expect);
+        assert_eq!(home, expect, "case {case}");
     }
 }
 
-proptest! {
+#[test]
+fn randomized_drf_program_is_sequentially_consistent_at_sync() {
     // End-to-end runs are slower: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn randomized_drf_program_is_sequentially_consistent_at_sync(
-        nprocs in 2usize..5,
-        epochs in 1usize..4,
-        writes_per_epoch in 1usize..12,
-        seed in any::<u64>(),
-        placement in prop_oneof![
-            Just(Placement::RoundRobin),
-            (0usize..4).prop_map(Placement::Node),
-            Just(Placement::Blocked { chunk_pages: 1 }),
-        ],
-    ) {
+    for case in 0..12u64 {
+        let mut rng = XorShift64::new(0xE2E ^ (case << 8));
+        let nprocs = 2 + rng.below(3) as usize;
+        let epochs = 1 + rng.below(3) as usize;
+        let writes_per_epoch = 1 + rng.below(11) as usize;
+        let seed = rng.next_u64();
+        let placement = match rng.below(3) {
+            0 => Placement::RoundRobin,
+            1 => Placement::Node(rng.below(4) as usize),
+            _ => Placement::Blocked { chunk_pages: 1 },
+        };
         // Each epoch, each processor writes `writes_per_epoch` slots from
         // its OWN disjoint region (data-race-free), then a barrier, then
         // every processor reads back every slot written so far and checks
@@ -120,7 +130,7 @@ proptest! {
                     // granularity: maximal false sharing.
                     HEAP_BASE + (((s * np + q) * 8) as u64) % (npages * PAGE_SIZE - 8)
                 };
-                let mut rng = sim_core::util::XorShift64::new(seed ^ p.pid() as u64);
+                let mut rng = XorShift64::new(seed ^ p.pid() as u64);
                 for epoch in 0..epochs {
                     for _ in 0..writes_per_epoch {
                         let s = rng.below(slots_per_proc as u64) as usize;

@@ -10,7 +10,11 @@ fn scattered_multiwriter_readback() {
         RunConfig::new(2),
         |p| {
             if p.pid() == 0 {
-                let a = p.alloc_shared(n_words * 8, PAGE_SIZE, Placement::Blocked { chunk_pages: 1 });
+                let a = p.alloc_shared(
+                    n_words * 8,
+                    PAGE_SIZE,
+                    Placement::Blocked { chunk_pages: 1 },
+                );
                 assert_eq!(a, HEAP_BASE);
                 for i in 0..n_words {
                     p.store(a + i * 8, 8, 1_000_000 + i);

@@ -1,0 +1,87 @@
+//! Race detection through the SVM platform's access stream, including the
+//! false-sharing case the paper's restructurings revolve around: two
+//! processors writing different words of one PAGE is data-race-free (the
+//! protocol merges diffs), and the detector agrees — it tracks 4-byte
+//! words, not coherence units.
+
+use sim_core::{run, Placement, RunConfig, HEAP_BASE};
+use svm_hlrc::{SvmConfig, SvmPlatform};
+
+#[test]
+fn unsynchronized_sharing_is_flagged_on_svm() {
+    let stats = run(
+        SvmPlatform::boxed(SvmConfig::paper(2)),
+        RunConfig::new(2).with_race_detection().named("svm-racy"),
+        |p| {
+            if p.pid() == 0 {
+                p.alloc_shared_labeled("shared", 64, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.store(HEAP_BASE, 8, p.pid() as u64);
+            p.barrier(1);
+        },
+    );
+    assert!(stats.races() > 0);
+    assert!(stats.race_summary().contains("shared"));
+}
+
+#[test]
+fn page_false_sharing_is_not_a_race() {
+    // The page is heavily write-shared (worst case for HLRC cost) but every
+    // word has exactly one writer per epoch: no race, and a cheap witness
+    // that the detector's granularity is the word, not the page.
+    let stats = run(
+        SvmPlatform::boxed(SvmConfig::paper(4)),
+        RunConfig::new(4)
+            .with_race_detection()
+            .named("svm-false-sharing"),
+        |p| {
+            if p.pid() == 0 {
+                p.alloc_shared_labeled("page", 4096, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            for i in 0..32u64 {
+                p.store(HEAP_BASE + (i * 4 + p.pid() as u64) * 8, 8, i);
+            }
+            p.barrier(1);
+            for i in 0..128u64 {
+                p.load(HEAP_BASE + i * 8, 8);
+            }
+            p.barrier(2);
+        },
+    );
+    assert_eq!(stats.races(), 0, "{}", stats.race_summary());
+}
+
+#[test]
+fn adjacent_word_writers_race_only_when_overlapping() {
+    // Two processors write ADJACENT 4-byte words: clean. The same two
+    // writing the SAME word: flagged.
+    let clean = run(
+        SvmPlatform::boxed(SvmConfig::paper(2)),
+        RunConfig::new(2).with_race_detection(),
+        |p| {
+            if p.pid() == 0 {
+                p.alloc_shared_labeled("words", 64, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.store(HEAP_BASE + 4 * p.pid() as u64, 4, 7);
+            p.barrier(1);
+        },
+    );
+    assert_eq!(clean.races(), 0, "{}", clean.race_summary());
+
+    let racy = run(
+        SvmPlatform::boxed(SvmConfig::paper(2)),
+        RunConfig::new(2).with_race_detection(),
+        |p| {
+            if p.pid() == 0 {
+                p.alloc_shared_labeled("words", 64, 8, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.store(HEAP_BASE, 4, 7);
+            p.barrier(1);
+        },
+    );
+    assert_eq!(racy.races(), 1);
+}

@@ -15,10 +15,15 @@ fn main() {
         app: App::Lu,
         class: OptClass::Algorithm,
     };
-    println!("running {} ({:?}) on SVM with 8 processors...", spec.app.name(), spec.class);
+    println!(
+        "running {} ({:?}) on SVM with 8 processors...",
+        spec.app.name(),
+        spec.class
+    );
     let stats = spec.run(Platform::Svm, 8, Scale::Test);
 
-    println!("\nexecution time: {} cycles (200 MHz -> {:.2} ms)",
+    println!(
+        "\nexecution time: {} cycles (200 MHz -> {:.2} ms)",
         stats.total_cycles(),
         stats.total_cycles() as f64 / 200_000.0,
     );

@@ -29,7 +29,5 @@ pub use svm_hlrc as svm;
 /// Convenient glob-import surface for examples and integration tests.
 pub mod prelude {
     pub use apps::{AppSpec, Platform as PlatformKind, Scale};
-    pub use sim_core::{
-        run, Bucket, Placement, Proc, RunConfig, RunStats,
-    };
+    pub use sim_core::{run, Bucket, Placement, Proc, RunConfig, RunStats};
 }

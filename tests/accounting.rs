@@ -27,10 +27,7 @@ fn buckets_partition_the_clock_exactly() {
 #[test]
 fn total_cycles_is_the_maximum_clock() {
     let stats = run_one(App::Lu, OptClass::Orig, PlatformKind::Svm, 4);
-    assert_eq!(
-        stats.total_cycles(),
-        *stats.clocks.iter().max().unwrap()
-    );
+    assert_eq!(stats.total_cycles(), *stats.clocks.iter().max().unwrap());
 }
 
 #[test]
@@ -83,9 +80,9 @@ fn timed_region_excludes_initialization() {
     let stats = run_one(App::Radix, OptClass::Orig, PlatformKind::Smp, 1);
     let accesses = stats.sum_counters().accesses;
     let n = 4 << 10; // Scale::Test key count
-    // 2 passes x (read + hist + read + write) ~ O(10 n); init alone is 2n
-    // writes and extraction 2n reads, so anything over ~40n would indicate
-    // leakage of untimed phases.
+                     // 2 passes x (read + hist + read + write) ~ O(10 n); init alone is 2n
+                     // writes and extraction 2n reads, so anything over ~40n would indicate
+                     // leakage of untimed phases.
     assert!(
         accesses < 40 * n,
         "timed accesses {accesses} look init-inflated"

@@ -7,8 +7,8 @@
 //! the applications, the HLRC protocol (data really flows through twins,
 //! diffs and page fetches), and the hardware-coherence models.
 
-use svm_restructure::prelude::*;
 use apps::{App, OptClass};
+use svm_restructure::prelude::*;
 
 fn all_classes() -> [OptClass; 4] {
     OptClass::ALL
@@ -31,23 +31,33 @@ fn every_app_and_class_runs_correctly_on_svm() {
 }
 
 #[test]
-fn every_app_runs_correctly_on_dsm() {
+fn every_app_and_class_runs_correctly_on_dsm() {
     for app in App::ALL {
-        for class in [OptClass::Orig, OptClass::Algorithm] {
+        for class in all_classes() {
             let spec = AppSpec { app, class };
             let stats = spec.run(PlatformKind::Dsm, 4, Scale::Test);
-            assert!(stats.total_cycles() > 0);
+            assert!(
+                stats.total_cycles() > 0,
+                "{} {} produced no timed work",
+                app.name(),
+                class.label()
+            );
         }
     }
 }
 
 #[test]
-fn every_app_runs_correctly_on_smp() {
+fn every_app_and_class_runs_correctly_on_smp() {
     for app in App::ALL {
-        for class in [OptClass::Orig, OptClass::Algorithm] {
+        for class in all_classes() {
             let spec = AppSpec { app, class };
             let stats = spec.run(PlatformKind::Smp, 4, Scale::Test);
-            assert!(stats.total_cycles() > 0);
+            assert!(
+                stats.total_cycles() > 0,
+                "{} {} produced no timed work",
+                app.name(),
+                class.label()
+            );
         }
     }
 }
@@ -72,6 +82,23 @@ fn simulations_are_deterministic() {
                 assert_eq!(x.get(bucket), y.get(bucket), "{}", app.name());
             }
         }
+    }
+}
+
+#[test]
+fn replay_produces_bit_identical_stats() {
+    // Stronger than `simulations_are_deterministic`: the ENTIRE RunStats
+    // value — clocks, every bucket of every phase of every processor, and
+    // all protocol counters — must be equal structure-for-structure across
+    // replays, on every platform.
+    for pf in [PlatformKind::Svm, PlatformKind::Dsm, PlatformKind::Smp] {
+        let spec = AppSpec {
+            app: App::Ocean,
+            class: OptClass::DataStruct,
+        };
+        let a = spec.run(pf, 4, Scale::Test);
+        let b = spec.run(pf, 4, Scale::Test);
+        assert_eq!(a, b, "{}: replay diverged", pf.name());
     }
 }
 

@@ -87,9 +87,7 @@ fn shearwarp_checksums_agree_everywhere() {
     };
     let sums: Vec<u64> = PLATFORMS
         .iter()
-        .map(|&pf| {
-            shearwarp::run_params(pf, 4, &params, ShearWarpVersion::Repartitioned).checksum
-        })
+        .map(|&pf| shearwarp::run_params(pf, 4, &params, ShearWarpVersion::Repartitioned).checksum)
         .collect();
     assert!(sums.windows(2).all(|w| w[0] == w[1]), "{sums:?}");
 }

@@ -6,7 +6,11 @@ use sim_core::{run, Placement, RunConfig, HEAP_BASE, PAGE_SIZE};
 use svm_hlrc::{SvmConfig, SvmPlatform};
 
 fn svm<F: Fn(&mut sim_core::Proc) + Sync>(n: usize, f: F) -> sim_core::RunStats {
-    run(SvmPlatform::boxed(SvmConfig::paper(n)), RunConfig::new(n), f)
+    run(
+        SvmPlatform::boxed(SvmConfig::paper(n)),
+        RunConfig::new(n),
+        f,
+    )
 }
 
 #[test]
@@ -112,8 +116,8 @@ fn lock_grant_order_is_fair_in_virtual_time() {
     run(
         SvmPlatform::boxed(SvmConfig::paper(4)),
         RunConfig {
-            nprocs: 4,
             quantum: 50,
+            ..RunConfig::new(4)
         },
         |p| {
             p.start_timing();
@@ -144,5 +148,8 @@ fn home_pages_are_never_fetched_by_their_owner() {
         p.barrier(1);
     });
     assert_eq!(stats.procs[0].counters.remote_fetches, 0);
-    assert_eq!(stats.procs[0].counters.twins_created, 0, "home writes in place");
+    assert_eq!(
+        stats.procs[0].counters.twins_created, 0,
+        "home writes in place"
+    );
 }

@@ -1,0 +1,217 @@
+//! End-to-end tests of the happens-before race detector (tentpole of the
+//! self-checking test harness): seeded racy kernels must be flagged and
+//! their correctly-synchronized twins must pass, on all three platform
+//! models; every application version must be data-race-free; and enabling
+//! detection must not perturb timing by a single cycle.
+
+use apps::{App, AppSpec, OptClass};
+use sim_core::HEAP_BASE;
+use svm_restructure::prelude::*;
+
+const PLATFORMS: [PlatformKind; 3] = [PlatformKind::Svm, PlatformKind::Dsm, PlatformKind::Smp];
+
+fn detecting(nprocs: usize, label: &str) -> RunConfig {
+    RunConfig::new(nprocs).with_race_detection().named(label)
+}
+
+/// Two processors increment a shared counter with no synchronization.
+fn unsync_counter(pf: PlatformKind, locked: bool) -> RunStats {
+    run(
+        pf.boxed(2),
+        detecting(
+            2,
+            if locked {
+                "counter-locked"
+            } else {
+                "counter-racy"
+            },
+        ),
+        |p| {
+            if p.pid() == 0 {
+                let a = p.alloc_shared_labeled("counter", 8, 8, Placement::Node(0));
+                p.store(a, 8, 0);
+            }
+            p.barrier(0);
+            if locked {
+                p.lock(7);
+            }
+            let v = p.load(HEAP_BASE, 8);
+            p.work(50);
+            p.store(HEAP_BASE, 8, v + 1);
+            if locked {
+                p.unlock(7);
+            }
+            p.barrier(1);
+        },
+    )
+}
+
+#[test]
+fn unsynchronized_counter_is_flagged_on_every_platform() {
+    for pf in PLATFORMS {
+        let stats = unsync_counter(pf, false);
+        assert!(
+            stats.races() > 0,
+            "{}: unsynchronized counter not flagged",
+            pf.name()
+        );
+        // The report names the allocation and the run.
+        let text = stats.race_summary();
+        assert!(text.contains("counter"), "unhelpful report: {text}");
+        assert!(text.contains("counter-racy"), "missing run label: {text}");
+    }
+}
+
+#[test]
+fn locked_counter_twin_is_clean_on_every_platform() {
+    for pf in PLATFORMS {
+        let stats = unsync_counter(pf, true);
+        assert_eq!(
+            stats.races(),
+            0,
+            "{}: locked counter flagged:\n{}",
+            pf.name(),
+            stats.race_summary()
+        );
+    }
+}
+
+/// A producer fills an array; consumers read it. `synced` inserts the
+/// barrier between the phases; without it every consumer read races.
+fn producer_consumer(pf: PlatformKind, synced: bool) -> RunStats {
+    const WORDS: u64 = 64;
+    run(pf.boxed(4), detecting(4, "producer-consumer"), |p| {
+        if p.pid() == 0 {
+            p.alloc_shared_labeled("feed", WORDS * 8, 8, Placement::RoundRobin);
+        }
+        p.barrier(0);
+        if p.pid() == 0 {
+            for i in 0..WORDS {
+                p.store(HEAP_BASE + i * 8, 8, i * 3);
+            }
+        }
+        if synced {
+            p.barrier(1);
+        }
+        if p.pid() != 0 {
+            for i in 0..WORDS {
+                p.load(HEAP_BASE + i * 8, 8);
+            }
+        }
+        p.barrier(2);
+    })
+}
+
+#[test]
+fn missing_barrier_is_flagged_on_every_platform() {
+    for pf in PLATFORMS {
+        let stats = producer_consumer(pf, false);
+        assert!(
+            stats.races() > 0,
+            "{}: missing barrier not flagged",
+            pf.name()
+        );
+        assert!(stats.race_summary().contains("feed"));
+    }
+}
+
+#[test]
+fn barrier_synchronized_twin_is_clean_on_every_platform() {
+    for pf in PLATFORMS {
+        let stats = producer_consumer(pf, true);
+        assert_eq!(
+            stats.races(),
+            0,
+            "{}: synchronized producer/consumer flagged:\n{}",
+            pf.name(),
+            stats.race_summary()
+        );
+    }
+}
+
+/// One side takes the lock, the other writes bare: the classic
+/// inconsistently-protected variable.
+fn lock_one_side(pf: PlatformKind, both: bool) -> RunStats {
+    run(pf.boxed(2), detecting(2, "one-sided-lock"), |p| {
+        if p.pid() == 0 {
+            p.alloc_shared_labeled("flag", 8, 8, Placement::Node(0));
+        }
+        p.barrier(0);
+        if p.pid() == 0 || both {
+            p.lock(3);
+            let v = p.load(HEAP_BASE, 8);
+            p.store(HEAP_BASE, 8, v + 1);
+            p.unlock(3);
+        } else {
+            let v = p.load(HEAP_BASE, 8);
+            p.store(HEAP_BASE, 8, v + 1);
+        }
+        p.barrier(1);
+    })
+}
+
+#[test]
+fn one_sided_locking_is_flagged_on_every_platform() {
+    for pf in PLATFORMS {
+        assert!(
+            lock_one_side(pf, false).races() > 0,
+            "{}: one-sided locking not flagged",
+            pf.name()
+        );
+        assert_eq!(
+            lock_one_side(pf, true).races(),
+            0,
+            "{}: two-sided locking flagged",
+            pf.name()
+        );
+    }
+}
+
+/// The load-bearing claim behind the simulator's determinism argument: the
+/// whole application suite, in every optimization class, really is
+/// data-race-free on every platform model.
+#[test]
+fn every_app_and_class_is_race_free_on_every_platform() {
+    for pf in PLATFORMS {
+        for app in App::ALL {
+            for class in OptClass::ALL {
+                let spec = AppSpec { app, class };
+                let stats =
+                    spec.run_cfg(pf, 4, Scale::Test, RunConfig::new(4).with_race_detection());
+                assert_eq!(
+                    stats.races(),
+                    0,
+                    "{} on {} raced:\n{}",
+                    spec.label(),
+                    pf.name(),
+                    stats.race_summary()
+                );
+            }
+        }
+    }
+}
+
+/// Detection must be an observer: enabling it cannot move a single cycle of
+/// virtual time or any counter.
+#[test]
+fn detection_does_not_perturb_timing() {
+    for pf in PLATFORMS {
+        for app in [App::Lu, App::Ocean, App::Radix] {
+            let spec = AppSpec {
+                app,
+                class: OptClass::Orig,
+            };
+            let off = spec.run(pf, 4, Scale::Test);
+            let on = spec.run_cfg(pf, 4, Scale::Test, RunConfig::new(4).with_race_detection());
+            assert!(on.races.is_empty());
+            // Full structural equality: clocks, buckets, phases, counters.
+            assert_eq!(
+                off,
+                on,
+                "{} on {}: detector perturbed the run",
+                app.name(),
+                pf.name()
+            );
+        }
+    }
+}
