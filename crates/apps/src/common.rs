@@ -159,6 +159,96 @@ impl<T: Clone> Default for Bcast<T> {
     }
 }
 
+/// Read `out.len()` `f64`s at addresses `addr_of(0..n)`, splitting the index
+/// range into maximal constant-stride runs and issuing one bulk
+/// [`sim_core::Proc::read_f64_slice`] per run. Blocked layouts (4-d arrays,
+/// grain padding) are piecewise-affine, so blind stride inference over the
+/// whole range would be wrong at block boundaries; this helper finds the
+/// boundaries instead of assuming them away. Access order (and thus timing)
+/// is identical to a scalar `for j { read_f64(addr_of(j)) }` loop.
+pub fn read_f64_runs(
+    p: &mut sim_core::Proc,
+    out: &mut [f64],
+    addr_of: impl Fn(usize) -> sim_core::Addr,
+) {
+    let n = out.len();
+    let mut s = 0;
+    while s < n {
+        let base = addr_of(s);
+        if s + 1 == n {
+            out[s] = p.read_f64(base);
+            break;
+        }
+        let Some(stride) = addr_of(s + 1).checked_sub(base) else {
+            out[s] = p.read_f64(base);
+            s += 1;
+            continue;
+        };
+        let mut e = s + 2;
+        while e < n && addr_of(e).checked_sub(addr_of(e - 1)) == Some(stride) {
+            e += 1;
+        }
+        p.read_f64_slice(base, stride, &mut out[s..e]);
+        s = e;
+    }
+}
+
+/// Store-side twin of [`read_f64_runs`].
+pub fn write_f64_runs(
+    p: &mut sim_core::Proc,
+    vals: &[f64],
+    addr_of: impl Fn(usize) -> sim_core::Addr,
+) {
+    let n = vals.len();
+    let mut s = 0;
+    while s < n {
+        let base = addr_of(s);
+        if s + 1 == n {
+            p.write_f64(base, vals[s]);
+            break;
+        }
+        let Some(stride) = addr_of(s + 1).checked_sub(base) else {
+            p.write_f64(base, vals[s]);
+            s += 1;
+            continue;
+        };
+        let mut e = s + 2;
+        while e < n && addr_of(e).checked_sub(addr_of(e - 1)) == Some(stride) {
+            e += 1;
+        }
+        p.write_f64_slice(base, stride, &vals[s..e]);
+        s = e;
+    }
+}
+
+/// u32 twin of [`read_f64_runs`].
+pub fn read_u32_runs(
+    p: &mut sim_core::Proc,
+    out: &mut [u32],
+    addr_of: impl Fn(usize) -> sim_core::Addr,
+) {
+    let n = out.len();
+    let mut s = 0;
+    while s < n {
+        let base = addr_of(s);
+        if s + 1 == n {
+            out[s] = p.read_u32(base);
+            break;
+        }
+        let Some(stride) = addr_of(s + 1).checked_sub(base) else {
+            out[s] = p.read_u32(base);
+            s += 1;
+            continue;
+        };
+        let mut e = s + 2;
+        while e < n && addr_of(e).checked_sub(addr_of(e - 1)) == Some(stride) {
+            e += 1;
+        }
+        p.read_u32_slice(base, stride, &mut out[s..e]);
+        s = e;
+    }
+}
+
 /// Accumulate a u64 checksum from f64 outputs with a tolerance-insensitive
 /// quantization (used to compare versions to each other, not to verify —
 /// verification always compares against the sequential reference directly).

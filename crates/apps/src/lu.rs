@@ -23,7 +23,10 @@
 //!   reaching superlinear speedup. (The paper found further algorithmic
 //!   change unnecessary for LU, so the `Alg` class maps here too.)
 
-use crate::common::{assert_close_slice, checksum_f64s, AppResult, Bcast, Platform, Scale};
+use crate::common::{
+    assert_close_slice, checksum_f64s, read_f64_runs, write_f64_runs, AppResult, Bcast, Platform,
+    Scale,
+};
 use crate::OptClass;
 use sim_core::util::XorShift64;
 use sim_core::{run as sim_run, Placement, Proc, RunConfig, PAGE_SIZE};
@@ -253,7 +256,14 @@ pub fn reference(params: &LuParams) -> Vec<f64> {
     a
 }
 
+// The block kernels stream whole `b`-length row/column segments through the
+// bulk API (one scheduler entry per run instead of per word). The arithmetic
+// order per element is unchanged, so outputs stay bitwise comparable to the
+// sequential reference.
+
 fn diag_factor(p: &mut Proc, m: &Layout, k0: usize, b: usize) {
+    let mut rowi = vec![0.0f64; b];
+    let mut rowj = vec![0.0f64; b];
     for j in 0..b {
         let jj = k0 + j;
         let d = m.get(p, jj, jj);
@@ -262,21 +272,28 @@ fn diag_factor(p: &mut Proc, m: &Layout, k0: usize, b: usize) {
             let lij = m.get(p, ii, jj) / d;
             m.set(p, ii, jj, lij);
             p.work(8); // divide
-            for l in (j + 1)..b {
-                let v = m.get(p, ii, k0 + l) - lij * m.get(p, jj, k0 + l);
-                m.set(p, ii, k0 + l, v);
+            let w = b - j - 1;
+            read_f64_runs(p, &mut rowi[..w], |l| m.addr(ii, k0 + j + 1 + l));
+            read_f64_runs(p, &mut rowj[..w], |l| m.addr(jj, k0 + j + 1 + l));
+            for l in 0..w {
+                rowi[l] -= lij * rowj[l];
             }
-            p.work(2 * (b - j - 1) as u64);
+            write_f64_runs(p, &rowi[..w], |l| m.addr(ii, k0 + j + 1 + l));
+            p.work(2 * w as u64);
         }
     }
 }
 
 fn perim_row(p: &mut Proc, m: &Layout, k0: usize, j0: usize, b: usize) {
+    let mut row = vec![0.0f64; b];
+    let mut col = vec![0.0f64; b];
     for jj in 0..b {
         for i in 1..b {
             let mut v = m.get(p, k0 + i, j0 + jj);
+            read_f64_runs(p, &mut row[..i], |l| m.addr(k0 + i, k0 + l));
+            read_f64_runs(p, &mut col[..i], |l| m.addr(k0 + l, j0 + jj));
             for l in 0..i {
-                v -= m.get(p, k0 + i, k0 + l) * m.get(p, k0 + l, j0 + jj);
+                v -= row[l] * col[l];
             }
             m.set(p, k0 + i, j0 + jj, v);
             p.work(2 * i as u64);
@@ -285,11 +302,15 @@ fn perim_row(p: &mut Proc, m: &Layout, k0: usize, j0: usize, b: usize) {
 }
 
 fn perim_col(p: &mut Proc, m: &Layout, k0: usize, i0: usize, b: usize) {
+    let mut row = vec![0.0f64; b];
+    let mut col = vec![0.0f64; b];
     for i in 0..b {
         for j in 0..b {
             let mut v = m.get(p, i0 + i, k0 + j);
+            read_f64_runs(p, &mut row[..j], |l| m.addr(i0 + i, k0 + l));
+            read_f64_runs(p, &mut col[..j], |l| m.addr(k0 + l, k0 + j));
             for l in 0..j {
-                v -= m.get(p, i0 + i, k0 + l) * m.get(p, k0 + l, k0 + j);
+                v -= row[l] * col[l];
             }
             let d = m.get(p, k0 + j, k0 + j);
             m.set(p, i0 + i, k0 + j, v / d);
@@ -299,11 +320,15 @@ fn perim_col(p: &mut Proc, m: &Layout, k0: usize, i0: usize, b: usize) {
 }
 
 fn interior(p: &mut Proc, m: &Layout, k0: usize, i0: usize, j0: usize, b: usize) {
+    let mut row = vec![0.0f64; b];
+    let mut col = vec![0.0f64; b];
     for i in 0..b {
         for j in 0..b {
             let mut v = m.get(p, i0 + i, j0 + j);
+            read_f64_runs(p, &mut row, |l| m.addr(i0 + i, k0 + l));
+            read_f64_runs(p, &mut col, |l| m.addr(k0 + l, j0 + j));
             for l in 0..b {
-                v -= m.get(p, i0 + i, k0 + l) * m.get(p, k0 + l, j0 + j);
+                v -= row[l] * col[l];
             }
             m.set(p, i0 + i, j0 + j, v);
             p.work(2 * b as u64);
@@ -410,9 +435,7 @@ pub fn run_params_cfg(
             };
             // Serial initialization (untimed, as in SPLASH-2).
             for i in 0..n {
-                for j in 0..n {
-                    layout.set(p, i, j, input[i * n + j]);
-                }
+                write_f64_runs(p, &input[i * n..(i + 1) * n], |j| layout.addr(i, j));
             }
             layout_bc.put(layout);
         }
@@ -455,9 +478,7 @@ pub fn run_params_cfg(
         if me == 0 {
             let mut out = vec![0.0f64; n * n];
             for i in 0..n {
-                for j in 0..n {
-                    out[i * n + j] = m.get(p, i, j);
-                }
+                read_f64_runs(p, &mut out[i * n..(i + 1) * n], |j| m.addr(i, j));
             }
             *result.lock().unwrap() = out;
         }

@@ -26,7 +26,10 @@
 //!   are contiguous even in a plain 2-d array. The paper's winner on SVM —
 //!   while square 4-d stays best on hardware-coherent machines.
 
-use crate::common::{assert_close_slice, checksum_f64s, AppResult, Bcast, Platform, Scale};
+use crate::common::{
+    assert_close_slice, checksum_f64s, read_f64_runs, write_f64_runs, AppResult, Bcast, Platform,
+    Scale,
+};
 use crate::OptClass;
 use sim_core::{run as sim_run, Placement, Proc, RunConfig, PAGE_SIZE};
 
@@ -107,16 +110,6 @@ impl GL {
                 base + (bi * bpr + bj) as u64 * bsz + ((ri * bdim + cj) as u64) * 8
             }
         }
-    }
-
-    #[inline(always)]
-    fn get(&self, p: &mut Proc, r: usize, c: usize) -> f64 {
-        f64::from_bits(p.load(self.addr(r, c), 8))
-    }
-
-    #[inline(always)]
-    fn set(&self, p: &mut Proc, r: usize, c: usize, v: f64) {
-        p.store(self.addr(r, c), 8, v.to_bits());
     }
 }
 
@@ -308,28 +301,47 @@ pub fn run_params_cfg(
         let full_r1 = if part.r1 == n - 2 { n - 1 } else { part.r1 };
         let full_c0 = if part.c0 == 1 { 0 } else { part.c0 };
         let full_c1 = if part.c1 == n - 2 { n - 1 } else { part.c1 };
+        let fw = full_c1 - full_c0 + 1;
+        let mut buf = vec![0.0f64; fw];
         for i in full_r0..=full_r1 {
-            for j in full_c0..=full_c1 {
-                psi.set(p, i, j, init_val(i, j, n));
-                rhs.set(p, i, j, rhs_val(i, j, n));
-                tmp.set(p, i, j, 0.0);
+            for (l, b) in buf.iter_mut().enumerate() {
+                *b = init_val(i, full_c0 + l, n);
             }
+            write_f64_runs(p, &buf, |l| psi.addr(i, full_c0 + l));
+            for (l, b) in buf.iter_mut().enumerate() {
+                *b = rhs_val(i, full_c0 + l, n);
+            }
+            write_f64_runs(p, &buf, |l| rhs.addr(i, full_c0 + l));
+            buf.fill(0.0);
+            write_f64_runs(p, &buf, |l| tmp.addr(i, full_c0 + l));
         }
         p.barrier(101);
         p.start_timing();
 
+        // Per-row staging buffers for the bulk fast path. Within a half-sweep
+        // the four stencil neighbours of an updated cell all have the
+        // opposite colour (and the stencil/residual phases only read psi), so
+        // hoisting a whole row of reads ahead of the row's writes reads
+        // exactly the values the per-point loop would.
+        let w = part.c1 - part.c0 + 1;
+        let (mut north, mut south) = (vec![0.0f64; w], vec![0.0f64; w]);
+        let (mut west, mut east) = (vec![0.0f64; w], vec![0.0f64; w]);
+        let (mut centre, mut aux) = (vec![0.0f64; w], vec![0.0f64; w]);
+        let mut out_row = vec![0.0f64; w];
+
         for _step in 0..params.steps {
             // Stencil phase.
             for i in part.r0..=part.r1 {
-                for j in part.c0..=part.c1 {
-                    let v = psi.get(p, i - 1, j)
-                        + psi.get(p, i + 1, j)
-                        + psi.get(p, i, j - 1)
-                        + psi.get(p, i, j + 1)
-                        - 4.0 * psi.get(p, i, j);
-                    tmp.set(p, i, j, v);
-                    p.work(6);
+                read_f64_runs(p, &mut north, |l| psi.addr(i - 1, part.c0 + l));
+                read_f64_runs(p, &mut south, |l| psi.addr(i + 1, part.c0 + l));
+                read_f64_runs(p, &mut west, |l| psi.addr(i, part.c0 - 1 + l));
+                read_f64_runs(p, &mut east, |l| psi.addr(i, part.c0 + 1 + l));
+                read_f64_runs(p, &mut centre, |l| psi.addr(i, part.c0 + l));
+                for l in 0..w {
+                    out_row[l] = north[l] + south[l] + west[l] + east[l] - 4.0 * centre[l];
                 }
+                write_f64_runs(p, &out_row, |l| tmp.addr(i, part.c0 + l));
+                p.work_fused(6, w as u64);
             }
             p.barrier(0);
             // Red-black relaxation.
@@ -337,18 +349,24 @@ pub fn run_params_cfg(
                 for colour in 0..2u32 {
                     for i in part.r0..=part.r1 {
                         let jstart = part.c0 + ((colour as usize + i + part.c0) % 2);
-                        let mut j = jstart;
-                        while j <= part.c1 {
-                            let nb = psi.get(p, i - 1, j)
-                                + psi.get(p, i + 1, j)
-                                + psi.get(p, i, j - 1)
-                                + psi.get(p, i, j + 1);
-                            let target = 0.25 * (nb - (rhs.get(p, i, j) + 0.1 * tmp.get(p, i, j)));
-                            let old = psi.get(p, i, j);
-                            psi.set(p, i, j, old + 0.9 * (target - old));
-                            p.work(10);
-                            j += 2;
+                        if jstart > part.c1 {
+                            continue;
                         }
+                        let k = (part.c1 - jstart) / 2 + 1;
+                        read_f64_runs(p, &mut north[..k], |l| psi.addr(i - 1, jstart + 2 * l));
+                        read_f64_runs(p, &mut south[..k], |l| psi.addr(i + 1, jstart + 2 * l));
+                        read_f64_runs(p, &mut west[..k], |l| psi.addr(i, jstart - 1 + 2 * l));
+                        read_f64_runs(p, &mut east[..k], |l| psi.addr(i, jstart + 1 + 2 * l));
+                        read_f64_runs(p, &mut aux[..k], |l| rhs.addr(i, jstart + 2 * l));
+                        read_f64_runs(p, &mut out_row[..k], |l| tmp.addr(i, jstart + 2 * l));
+                        read_f64_runs(p, &mut centre[..k], |l| psi.addr(i, jstart + 2 * l));
+                        for l in 0..k {
+                            let nb = north[l] + south[l] + west[l] + east[l];
+                            let target = 0.25 * (nb - (aux[l] + 0.1 * out_row[l]));
+                            centre[l] += 0.9 * (target - centre[l]);
+                        }
+                        write_f64_runs(p, &centre[..k], |l| psi.addr(i, jstart + 2 * l));
+                        p.work_fused(10, k as u64);
                     }
                     p.barrier(1 + colour);
                 }
@@ -356,11 +374,13 @@ pub fn run_params_cfg(
             // Residual reduction (lock-accumulated, as in SPLASH).
             let mut local = 0.0f64;
             for i in part.r0..=part.r1 {
-                for j in part.c0..=part.c1 {
-                    let d = rhs.get(p, i, j) - psi.get(p, i, j);
+                read_f64_runs(p, &mut aux, |l| rhs.addr(i, part.c0 + l));
+                read_f64_runs(p, &mut centre, |l| psi.addr(i, part.c0 + l));
+                for l in 0..w {
+                    let d = aux[l] - centre[l];
                     local += d * d;
-                    p.work(3);
                 }
+                p.work_fused(3, w as u64);
             }
             p.lock(0);
             let g = p.read_f64(resid);
@@ -373,9 +393,7 @@ pub fn run_params_cfg(
         if me == 0 {
             let mut out = vec![0.0f64; n * n];
             for i in 0..n {
-                for j in 0..n {
-                    out[i * n + j] = psi.get(p, i, j);
-                }
+                read_f64_runs(p, &mut out[i * n..(i + 1) * n], |j| psi.addr(i, j));
             }
             *result.lock().unwrap() = out;
         }

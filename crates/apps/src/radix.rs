@@ -154,9 +154,7 @@ pub fn run_params_cfg(
                     chunk_pages: ((RADIX * 4) as u64).div_ceil(PAGE_SIZE),
                 },
             );
-            for (i, &k) in input.iter().enumerate() {
-                p.store(a + (i * 4) as u64, 4, k as u64);
-            }
+            p.write_u32_slice(a, 4, &input);
             layout_bc.put((a, b, hist, 0));
         }
         p.barrier(100);
@@ -166,25 +164,22 @@ pub fn run_params_cfg(
         for pass in 0..params.passes {
             let shift = RBITS * pass;
             let mask = (RADIX - 1) as u64;
-            // Phase 1: local histogram.
+            // Phase 1: local histogram. The key reads are a contiguous
+            // sweep over this processor's chunk — one bulk read, then the
+            // (unshared) binning charged as fused compute.
+            let mut keys = vec![0u32; chunk];
+            p.read_u32_slice(src + (me * chunk * 4) as u64, 4, &mut keys);
             let mut local_hist = vec![0u32; RADIX];
-            for i in 0..chunk {
-                let k = p.load(src + ((me * chunk + i) * 4) as u64, 4);
-                local_hist[((k >> shift) & mask) as usize] += 1;
-                p.work(2);
+            for &k in &keys {
+                local_hist[((k as u64 >> shift) & mask) as usize] += 1;
             }
-            for (d, &c) in local_hist.iter().enumerate() {
-                p.store(hist + ((me * RADIX + d) * 4) as u64, 4, c as u64);
-            }
+            p.work_fused(2, chunk as u64);
+            p.write_u32_slice(hist + (me * RADIX * 4) as u64, 4, &local_hist);
             p.barrier(0);
             // Phase 2: every processor reads the full histogram matrix and
             // computes its own per-digit base offsets.
             let mut matrix = vec![0u32; np * RADIX];
-            for q in 0..np {
-                for d in 0..RADIX {
-                    matrix[q * RADIX + d] = p.load(hist + ((q * RADIX + d) * 4) as u64, 4) as u32;
-                }
-            }
+            p.read_u32_slice(hist, 4, &mut matrix);
             let mut offsets = vec![0u64; RADIX];
             let mut running = 0u64;
             for d in 0..RADIX {
@@ -196,17 +191,21 @@ pub fn run_params_cfg(
                     running += matrix[q * RADIX + d] as u64;
                 }
                 offsets[d] = mine;
-                p.work(np as u64);
             }
+            p.work_fused(np as u64, RADIX as u64);
             // Phase 3: permutation.
             match version {
                 RadixVersion::Orig => {
-                    for i in 0..chunk {
-                        let k = p.load(src + ((me * chunk + i) * 4) as u64, 4);
-                        let d = ((k >> shift) & mask) as usize;
+                    // Keys are re-read in bulk (`keys` still holds this
+                    // chunk, but SPLASH-2 reloads in the permutation loop and
+                    // so do we); the scattered destination writes are the
+                    // point of this version and stay word-at-a-time.
+                    p.read_u32_slice(src + (me * chunk * 4) as u64, 4, &mut keys);
+                    for &k in &keys {
+                        let d = ((k as u64 >> shift) & mask) as usize;
                         let pos = offsets[d];
                         offsets[d] += 1;
-                        p.store(dst + (pos * 4) as u64, 4, k);
+                        p.store(dst + (pos * 4) as u64, 4, k as u64);
                         p.work(4);
                     }
                 }
@@ -225,24 +224,25 @@ pub fn run_params_cfg(
                     }
                     let group_base = lstart.clone();
                     let mut buf = vec![0u32; chunk];
-                    for i in 0..chunk {
-                        let k = p.load(src + ((me * chunk + i) * 4) as u64, 4);
-                        let d = ((k >> shift) & mask) as usize;
-                        buf[lstart[d] as usize] = k as u32;
+                    p.read_u32_slice(src + (me * chunk * 4) as u64, 4, &mut keys);
+                    for &k in &keys {
+                        let d = ((k as u64 >> shift) & mask) as usize;
+                        buf[lstart[d] as usize] = k;
                         lstart[d] += 1;
-                        p.work(4);
                     }
+                    p.work_fused(4, chunk as u64);
                     // Stagger the starting digit per processor so the
                     // sequential sweeps do not convoy on one home node.
                     let start = me * RADIX / np;
                     for dd in 0..RADIX {
                         let d = (start + dd) % RADIX;
-                        let len = local_hist[d] as u64;
-                        for i in 0..len {
-                            let k = buf[(group_base[d] + i) as usize];
-                            p.store(dst + ((offsets[d] + i) * 4) as u64, 4, k as u64);
-                            p.work(2);
+                        let len = local_hist[d] as usize;
+                        if len == 0 {
+                            continue;
                         }
+                        let run = &buf[group_base[d] as usize..group_base[d] as usize + len];
+                        p.write_u32_slice(dst + (offsets[d] * 4) as u64, 4, run);
+                        p.work_fused(2, len as u64);
                     }
                 }
             }
@@ -253,9 +253,7 @@ pub fn run_params_cfg(
         p.stop_timing();
         if me == 0 {
             let mut out = vec![0u32; n];
-            for (i, o) in out.iter_mut().enumerate() {
-                *o = p.load(src + (i * 4) as u64, 4) as u32;
-            }
+            p.read_u32_slice(src, 4, &mut out);
             *result.lock().unwrap() = out;
         }
     });

@@ -352,26 +352,31 @@ pub fn run_params_cfg(
                 PAGE_SIZE,
                 Placement::RoundRobin,
             );
-            for (i, r) in rle.runs.iter().enumerate() {
-                p.store(runs_a + (i * 4) as u64, 4, *r as u64);
-            }
+            p.write_u32_slice(runs_a, 4, &rle.runs);
             let index_a = p.alloc_shared(
                 (rle.index.len() * 12) as u64,
                 PAGE_SIZE,
                 Placement::RoundRobin,
             );
-            for (i, (r0, rc, v0)) in rle.index.iter().enumerate() {
-                p.store(index_a + (i * 12) as u64, 4, *r0 as u64);
-                p.store(index_a + (i * 12 + 4) as u64, 4, *rc as u64);
-                p.store(index_a + (i * 12 + 8) as u64, 4, *v0 as u64);
+            // One strided bulk store per field of the (r0, rc, v0) triples.
+            for (off, field) in [
+                (0u64, rle.index.iter().map(|t| t.0).collect::<Vec<u32>>()),
+                (4, rle.index.iter().map(|t| t.1).collect()),
+                (8, rle.index.iter().map(|t| t.2).collect()),
+            ] {
+                p.write_u32_slice(index_a + off, 12, &field);
             }
             let vox_a = p.alloc_shared(
                 rle.vox.len().max(1) as u64,
                 PAGE_SIZE,
                 Placement::RoundRobin,
             );
-            for (i, d) in rle.vox.iter().enumerate() {
-                p.store(vox_a + i as u64, 1, *d as u64);
+            let mut vb = [0u64; 256];
+            for (ci, ch) in rle.vox.chunks(256).enumerate() {
+                for (s, &d) in vb.iter_mut().zip(ch) {
+                    *s = d as u64;
+                }
+                p.store_slice(vox_a + (ci * 256) as u64, 1, 1, &vb[..ch.len()]);
             }
             // Intermediate and final images. FirstTouch + parallel init
             // homes scanlines at their composite-phase owners.
@@ -383,15 +388,16 @@ pub fn run_params_cfg(
         p.barrier(100);
         let (runs_a, index_a, vox_a, inter_a, fin_a, _) = layout_bc.get();
         let ipix = |u: usize, x: usize| inter_a + u as u64 * row_stride + (x * 8) as u64;
+        // Bulk staging buffers (a literal run spans at most one volume edge).
+        let mut vox_buf = vec![0u64; v];
+        let mut alpha_buf = vec![0u64; v];
+        let mut row_buf = vec![0u64; g.ix];
 
         // Untimed parallel init: zero my intermediate scanlines and final
         // rows (first touch).
         for u in 0..g.iy {
             if scan_owner(version, &bounds, np, u) == me {
-                for x in 0..g.ix {
-                    p.store(ipix(u, x), 4, 0);
-                    p.store(ipix(u, x) + 4, 4, 0);
-                }
+                p.fill(ipix(u, 0), 4, 2 * g.ix as u64, 0);
             }
             // Final image: warp partition (contiguous blocks for Orig/P-A,
             // composite partition for Repartitioned).
@@ -401,9 +407,7 @@ pub fn run_params_cfg(
                 (u * np / g.iy).min(np - 1)
             };
             if warp_owner == me {
-                for x in 0..g.ix {
-                    p.store(fin_a + ((u * g.ix + x) * 4) as u64, 4, 0);
-                }
+                p.fill(fin_a + (u * g.ix * 4) as u64, 4, g.ix as u64, 0);
             }
         }
         p.barrier(101);
@@ -419,10 +423,7 @@ pub fn run_params_cfg(
             p.set_phase(phase::COMPOSITE);
             for u in 0..g.iy {
                 if scan_owner(version, &bounds, np, u) == me {
-                    for x in 0..g.ix {
-                        p.store(ipix(u, x), 4, 0);
-                        p.store(ipix(u, x) + 4, 4, 0);
-                    }
+                    p.fill(ipix(u, 0), 4, 2 * g.ix as u64, 0);
                     p.work(2 * g.ix as u64);
                 }
             }
@@ -439,9 +440,9 @@ pub fn run_params_cfg(
                         continue;
                     }
                     let ib = index_a + ((z * v + yv as usize) * 12) as u64;
-                    let r0 = p.load(ib, 4) as u32;
-                    let rc = p.load(ib + 4, 4) as u32;
-                    let v0 = p.load(ib + 8, 4) as u32;
+                    let mut tri = [0u64; 3];
+                    p.load_slice(ib, 4, 4, &mut tri);
+                    let (r0, rc, v0) = (tri[0] as u32, tri[1] as u32, tri[2] as u32);
                     p.work(6);
                     let mut x = 0i64;
                     let mut vi = v0 as u64;
@@ -449,23 +450,33 @@ pub fn run_params_cfg(
                         let run = p.load(runs_a + (r as u64) * 4, 4) as u32;
                         x += (run >> 16) as i64;
                         p.work(3);
-                        for _ in 0..(run & 0xffff) {
-                            let d = p.load(vox_a + vi, 1) as u8;
-                            vi += 1;
-                            let xi = (x + g.mx as i64 + sx) as usize;
-                            x += 1;
-                            let a = f32::from_bits(p.load(ipix(u, xi) + 4, 4) as u32);
-                            p.work(4);
+                        let len = (run & 0xffff) as usize;
+                        if len == 0 {
+                            continue;
+                        }
+                        // A literal run touches `len` *distinct* pixels, so
+                        // hoisting the voxel bytes and current alphas ahead
+                        // of the run's read-modify-writes reads exactly what
+                        // the per-voxel loop would.
+                        let xi0 = (x + g.mx as i64 + sx) as usize;
+                        p.load_slice(vox_a + vi, 1, 1, &mut vox_buf[..len]);
+                        p.load_slice(ipix(u, xi0) + 4, 8, 4, &mut alpha_buf[..len]);
+                        p.work_fused(4, len as u64);
+                        for k in 0..len {
+                            let a = f32::from_bits(alpha_buf[k] as u32);
                             if a > params.term {
                                 continue;
                             }
-                            let (op, it) = transfer(d);
+                            let (op, it) = transfer(vox_buf[k] as u8);
                             let w = (1.0 - a) * op;
+                            let xi = xi0 + k;
                             let c = f32::from_bits(p.load(ipix(u, xi), 4) as u32);
                             p.store(ipix(u, xi), 4, (c + w * it).to_bits() as u64);
                             p.store(ipix(u, xi) + 4, 4, (a + w).to_bits() as u64);
                             p.work(6);
                         }
+                        vi += len as u64;
+                        x += len as i64;
                     }
                 }
             }
@@ -487,27 +498,30 @@ pub fn run_params_cfg(
                     continue;
                 }
                 let ws = g.warp_shift(y);
-                for x in 0..g.ix {
-                    let sxp = x as i64 - ws;
-                    let val = if sxp >= 0 && (sxp as usize) < g.ix {
-                        p.load(ipix(y, sxp as usize), 4)
-                    } else {
-                        0
-                    };
-                    p.store(fin_a + ((y * g.ix + x) * 4) as u64, 4, val);
-                    p.work(3);
+                // Valid source pixels exist for x in [x0, x1); outside that
+                // the final row gets zeros.
+                let x0 = ws.clamp(0, g.ix as i64) as usize;
+                let x1 = (g.ix as i64 + ws).clamp(0, g.ix as i64) as usize;
+                row_buf.fill(0);
+                if x1 > x0 {
+                    p.load_slice(
+                        ipix(y, (x0 as i64 - ws) as usize),
+                        8,
+                        4,
+                        &mut row_buf[x0..x1],
+                    );
                 }
+                p.store_slice(fin_a + (y * g.ix * 4) as u64, 4, 4, &row_buf);
+                p.work_fused(3, g.ix as u64);
             }
             p.barrier(1);
         } // frames
 
         p.stop_timing();
         if me == 0 {
-            let mut out = vec![0.0f32; g.iy * g.ix];
-            for (i, o) in out.iter_mut().enumerate() {
-                *o = f32::from_bits(p.load(fin_a + (i * 4) as u64, 4) as u32);
-            }
-            *result.lock().unwrap() = out;
+            let mut raw = vec![0u32; g.iy * g.ix];
+            p.read_u32_slice(fin_a, 4, &mut raw);
+            *result.lock().unwrap() = raw.iter().map(|&b| f32::from_bits(b)).collect();
         }
     });
 

@@ -26,7 +26,7 @@
 //!   stealing: trades barrier imbalance for lock traffic; slightly better
 //!   still on SVM (11.42 → 11.70 in the paper).
 
-use crate::common::{AppResult, Bcast, Platform, Scale};
+use crate::common::{read_u32_runs, AppResult, Bcast, Platform, Scale};
 use crate::OptClass;
 use sim_core::util::XorShift64;
 use sim_core::{run as sim_run, Placement, RunConfig, PAGE_SIZE};
@@ -326,23 +326,34 @@ pub fn run_params_cfg(
                 PAGE_SIZE,
                 Placement::RoundRobin,
             );
-            for (i, d) in vol.iter().enumerate() {
-                p.store(volume + i as u64, 1, *d as u64);
+            let mut bb = [0u64; 256];
+            for (ci, ch) in vol.chunks(256).enumerate() {
+                for (s, &d) in bb.iter_mut().zip(ch) {
+                    *s = d as u64;
+                }
+                p.store_slice(volume + (ci * 256) as u64, 1, 1, &bb[..ch.len()]);
             }
-            // Min-max skip map (read-only).
+            // Min-max skip map (read-only): (lo, hi) byte pairs are
+            // contiguous, so flatten and bulk-store.
             let zr = zrange_map(&vol, v);
             let zmap = p.alloc_shared((v * v * 2) as u64, PAGE_SIZE, Placement::RoundRobin);
-            for (i, (lo, hi)) in zr.iter().enumerate() {
-                p.store(zmap + (i * 2) as u64, 1, *lo as u64);
-                p.store(zmap + (i * 2 + 1) as u64, 1, *hi as u64);
+            let zflat: Vec<u8> = zr.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+            for (ci, ch) in zflat.chunks(256).enumerate() {
+                for (s, &d) in bb.iter_mut().zip(ch) {
+                    *s = d as u64;
+                }
+                p.store_slice(zmap + (ci * 256) as u64, 1, 1, &bb[..ch.len()]);
             }
-            // Transfer tables (read-only, small).
+            // Transfer tables (read-only, small): (op, it) f32 pairs are one
+            // contiguous word stream.
             let table = p.alloc_shared(256 * 8, PAGE_SIZE, Placement::Node(0));
-            for d in 0..256usize {
-                let (op, it) = transfer(d as u8);
-                p.store(table + (d * 8) as u64, 4, op.to_bits() as u64);
-                p.store(table + (d * 8 + 4) as u64, 4, it.to_bits() as u64);
-            }
+            let twords: Vec<u32> = (0..256usize)
+                .flat_map(|d| {
+                    let (op, it) = transfer(d as u8);
+                    [op.to_bits(), it.to_bits()]
+                })
+                .collect();
+            p.write_u32_slice(table, 4, &twords);
             // Image.
             let img = match version {
                 VolrendVersion::Image4d => {
@@ -390,6 +401,7 @@ pub fn run_params_cfg(
                 }
             }
         }
+        let mine_u64: Vec<u64> = mine.iter().map(|&t| t as u64).collect();
         for frame in 0..params.frames + 1 {
             // Frame 0 is an untimed warm-up (SPLASH-2 methodology): it faults
             // in the read-only volume so the timed frames measure steady state.
@@ -397,9 +409,7 @@ pub fn run_params_cfg(
                 p.start_timing();
             }
             p.lock(LOCK_QUEUE_BASE + me as u32);
-            for (i, t) in mine.iter().enumerate() {
-                p.store(qentry(me, i as u64), 4, *t as u64);
-            }
+            p.store_slice(qentry(me, 0), estride, 4, &mine_u64);
             p.write_u32(qcount(me), mine.len() as u32);
             p.unlock(LOCK_QUEUE_BASE + me as u32);
             p.barrier(0);
@@ -426,8 +436,9 @@ pub fn run_params_cfg(
                                 let (x, y) = (tx * TILE + px, ty * TILE + py);
                                 let (vx, vy) = (x / 2, y / 2);
                                 // Empty-space skip: per-column occupancy range.
-                                let zlo = p.load(zmap + ((vy * v + vx) * 2) as u64, 1) as usize;
-                                let zhi = p.load(zmap + ((vy * v + vx) * 2 + 1) as u64, 1) as usize;
+                                let mut zpair = [0u64; 2];
+                                p.load_slice(zmap + ((vy * v + vx) * 2) as u64, 1, 1, &mut zpair);
+                                let (zlo, zhi) = (zpair[0] as usize, zpair[1] as usize);
                                 p.work(4);
                                 // March the ray through the occupied range.
                                 let mut alpha = 0.0f32;
@@ -489,13 +500,11 @@ pub fn run_params_cfg(
 
         p.stop_timing();
         if me == 0 {
-            let mut out = vec![0.0f32; n * n];
+            let mut raw = vec![0u32; n * n];
             for y in 0..n {
-                for x in 0..n {
-                    out[y * n + x] = f32::from_bits(p.load(img.addr(x, y), 4) as u32);
-                }
+                read_u32_runs(p, &mut raw[y * n..(y + 1) * n], |x| img.addr(x, y));
             }
-            *result.lock().unwrap() = out;
+            *result.lock().unwrap() = raw.iter().map(|&b| f32::from_bits(b)).collect();
         }
     });
 

@@ -1,0 +1,129 @@
+//! perfjson — machine-readable simulator-performance benchmark.
+//!
+//! Times each benchmark cell (application x platform, default scale, 8
+//! simulated processors) twice — once on the word-at-a-time scalar
+//! reference path and once on the bulk fast path — and writes
+//! `BENCH_simulator.json` with host seconds, the bulk-over-scalar speedup,
+//! and simulated-cycles-per-host-second throughput. The two paths produce
+//! bit-identical `RunStats` (enforced by `tests/equivalence.rs`); this
+//! binary measures only how fast the simulator gets there.
+//!
+//! ```text
+//! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
+//!     --procs N --out PATH]
+//! ```
+
+use apps::{App, AppSpec, OptClass, Platform, Scale};
+use sim_core::RunConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Cell {
+    app: App,
+    platform: Platform,
+    host_s_scalar: f64,
+    host_s_bulk: f64,
+    sim_cycles: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Default;
+    let mut nprocs = 8usize;
+    let mut out_path = String::from("BENCH_simulator.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("unknown scale {other:?} (test|default|paper)"),
+                };
+            }
+            "--procs" => {
+                i += 1;
+                nprocs = args[i].parse().expect("--procs N");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::Default => "default",
+        Scale::Paper => "paper",
+    };
+
+    // The three apps the bulk fast path targets hardest, on all three
+    // platforms of the study.
+    let apps = [App::Lu, App::Ocean, App::Radix];
+    let mut cells = Vec::new();
+    for app in apps {
+        for platform in Platform::ALL {
+            let spec = AppSpec {
+                app,
+                class: OptClass::Algorithm,
+            };
+            eprintln!("[perfjson] {} on {}...", app.name(), platform.name());
+            let t0 = Instant::now();
+            let scalar = spec.run_cfg(
+                platform,
+                nprocs,
+                scale,
+                RunConfig::new(nprocs).scalar_reference(),
+            );
+            let host_s_scalar = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let bulk = spec.run_cfg(platform, nprocs, scale, RunConfig::new(nprocs));
+            let host_s_bulk = t1.elapsed().as_secs_f64();
+            assert_eq!(
+                scalar, bulk,
+                "scalar and bulk RunStats diverge for {app:?} on {platform:?}"
+            );
+            cells.push(Cell {
+                app,
+                platform,
+                host_s_scalar,
+                host_s_bulk,
+                sim_cycles: bulk.total_cycles(),
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"simulator-throughput\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"nprocs\": {nprocs},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let speedup = c.host_s_scalar / c.host_s_bulk.max(1e-12);
+        let cps = c.sim_cycles as f64 / c.host_s_bulk.max(1e-12);
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"platform\": \"{}\", \
+             \"host_s_scalar\": {:.4}, \"host_s_bulk\": {:.4}, \
+             \"bulk_speedup\": {:.2}, \"sim_cycles\": {}, \
+             \"sim_cycles_per_host_s\": {:.0}}}",
+            c.app.name(),
+            c.platform.name(),
+            c.host_s_scalar,
+            c.host_s_bulk,
+            speedup,
+            c.sim_cycles,
+            cps
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("[perfjson] wrote {out_path}");
+}

@@ -14,21 +14,29 @@ fn main() {
          -> Barnes-Spatial 10.5; tree build takes 43% under SVM vs ~2% \
          sequentially",
     );
-    let base = barnes::run(Platform::Svm, 1, opts.scale, BarnesVersion::SharedTree)
-        .stats
-        .total_cycles();
-    println!(
-        "{:<14} {:>8} {:>12} {:>10}",
-        "version", "speedup", "tree-build%", "locks"
-    );
-    for v in [
+    // One uniprocessor baseline + five versions: six independent cells,
+    // swept concurrently on the host pool.
+    let versions = [
         BarnesVersion::SharedTree,
         BarnesVersion::LocalHeaps,
         BarnesVersion::UpdateTree,
         BarnesVersion::Partree,
         BarnesVersion::Spatial,
-    ] {
-        let st = barnes::run(Platform::Svm, opts.nprocs, opts.scale, v).stats;
+    ];
+    let jobs: Vec<(usize, BarnesVersion)> = std::iter::once((1, BarnesVersion::SharedTree))
+        .chain(versions.iter().map(|&v| (opts.nprocs, v)))
+        .collect();
+    let mut runs = figures::sweep::parallel_map(&jobs, |&(nprocs, v)| {
+        barnes::run(Platform::Svm, nprocs, opts.scale, v).stats
+    })
+    .into_iter();
+    let base = runs.next().expect("baseline ran").total_cycles();
+    println!(
+        "{:<14} {:>8} {:>12} {:>10}",
+        "version", "speedup", "tree-build%", "locks"
+    );
+    for v in versions {
+        let st = runs.next().expect("version ran");
         println!(
             "{:<14} {:>8.2} {:>11.0}% {:>10}",
             format!("{v:?}"),

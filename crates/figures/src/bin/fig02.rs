@@ -12,6 +12,11 @@ fn main() {
          LU, Ocean and Raytrace fall below 1x",
     );
     let mut r = Runner::new();
+    let cells: Vec<_> = App::ALL
+        .iter()
+        .flat_map(|&app| Platform::ALL.map(|pf| (app, OptClass::Orig, pf)))
+        .collect();
+    r.prefetch(&cells, opts);
     println!("{:<12} {:>8} {:>8} {:>8}", "App", "SVM", "SMP", "DSM");
     for app in App::ALL {
         print!("{:<12}", app.name());

@@ -1,7 +1,13 @@
 //! Table 1 (the paper's qualitative difficulty table), reproduced as
-//! structured data with our reproduction commentary.
+//! structured data with our reproduction commentary — followed by a
+//! measured summary sweep (every application, original vs. best
+//! restructured version on SVM) backing up the qualitative rows.
+use apps::{App, OptClass, Platform};
+use figures::{header, parse_args, Runner};
+
 fn main() {
-    figures::header(
+    let opts = parse_args();
+    header(
         "Table 1",
         "Qualitative difficulty of optimizing each application for SVM",
         "as printed in the paper's section 6",
@@ -30,4 +36,37 @@ fn main() {
          Volrend's and Raytrace's lock pathologies and Barnes' tree-build\n\
          blow-up are invisible without them."
     );
+    println!();
+
+    // Quantitative backing: what the restructuring effort buys on SVM.
+    let mut r = Runner::new();
+    let cells: Vec<_> = App::ALL
+        .iter()
+        .flat_map(|&app| {
+            [
+                (app, OptClass::Orig, Platform::Svm),
+                (app, OptClass::Algorithm, Platform::Svm),
+            ]
+        })
+        .collect();
+    r.prefetch(&cells, opts);
+    println!(
+        "Measured on SVM ({} procs, this reproduction):",
+        opts.nprocs
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "Application", "Orig", "Restruct", "gain"
+    );
+    for app in App::ALL {
+        let orig = r.speedup(app, OptClass::Orig, Platform::Svm, opts);
+        let best = r.speedup(app, OptClass::Algorithm, Platform::Svm, opts);
+        println!(
+            "{:<12} {:>9.2}x {:>9.2}x {:>7.2}x",
+            app.name(),
+            orig,
+            best,
+            best / orig
+        );
+    }
 }

@@ -438,6 +438,123 @@ impl Platform for TmkPlatform {
         frame[off..off + len as usize].copy_from_slice(&val.to_le_bytes()[..len as usize]);
     }
 
+    // Bulk fast path, as in `svm-hlrc`: a word is fast when no interrupt
+    // debt is pending, the page is already mapped at this processor (for
+    // stores: ReadWrite, so no fault or twin), and the word's L1 line is
+    // present with sufficient permission — then k words in one line batch to
+    // counters + Compute k + one `hit_run` + k frame moves, identical to k
+    // scalar iterations. Other words fall back to scalar `load`/`store`.
+    fn load_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        out: &mut [u64],
+        budget: u64,
+    ) -> usize {
+        let pid = t.pid;
+        let l1_line = self.nodes[pid].l1.geom().line;
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr + done as u64 * stride;
+            let page = a >> self.page_shift;
+            let fast = self.nodes[pid].debt == 0
+                && self.nodes[pid].pages.contains_key(&page)
+                && self.nodes[pid].l1.state_of(a) != LineState::Invalid;
+            if !fast {
+                out[done] = self.load(t, a, len);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.nodes[pid].l1.line_base(a) + l1_line;
+            let mut k = (out.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.nodes[pid].l1.hit_run(a, false, k);
+            let page_base = page << self.page_shift;
+            let frame = &self.nodes[pid].pages[&page].frame;
+            for i in 0..k {
+                let off = (a + i * stride - page_base) as usize;
+                let mut b = [0u8; 8];
+                b[..len as usize].copy_from_slice(&frame[off..off + len as usize]);
+                out[done + i as usize] = u64::from_le_bytes(b);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
+    fn store_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        vals: &[u64],
+        budget: u64,
+    ) -> usize {
+        let pid = t.pid;
+        let l1_line = self.nodes[pid].l1.geom().line;
+        let mut done = 0usize;
+        while done < vals.len() {
+            let a = addr + done as u64 * stride;
+            let page = a >> self.page_shift;
+            let fast = self.nodes[pid].debt == 0
+                && self.nodes[pid]
+                    .pages
+                    .get(&page)
+                    .is_some_and(|e| e.state == PState::ReadWrite)
+                && matches!(
+                    self.nodes[pid].l1.state_of(a),
+                    LineState::Exclusive | LineState::Modified
+                );
+            if !fast {
+                self.store(t, a, len, vals[done]);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.nodes[pid].l1.line_base(a) + l1_line;
+            let mut k = (vals.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.nodes[pid].l1.hit_run(a, true, k);
+            let page_base = page << self.page_shift;
+            let frame = &mut self.nodes[pid].pages.get_mut(&page).unwrap().frame;
+            for i in 0..k {
+                let off = (a + i * stride - page_base) as usize;
+                frame[off..off + len as usize]
+                    .copy_from_slice(&vals[done + i as usize].to_le_bytes()[..len as usize]);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
     fn acquire_request(&mut self, t: &mut Timing, lock: u32) -> u64 {
         self.apply_debt(t);
         t.charge(Bucket::LockWait, self.cfg.handler_cost);

@@ -179,6 +179,37 @@ impl Cache {
         Lookup::Miss { victim }
     }
 
+    /// Batch equivalent of `k` consecutive [`Cache::access`] hits to the line
+    /// containing `a`, which the caller has already proven present with
+    /// sufficient permission (read: any valid state; write: Exclusive or
+    /// Modified — a write to a Shared line would be an upgrade miss and must
+    /// not use this path). Semantically identical to calling `access` `k`
+    /// times: the tick advances by `k`, the LRU stamp lands on the final
+    /// tick, `hits` grows by `k`, and writes leave the line Modified.
+    #[inline]
+    pub fn hit_run(&mut self, a: Addr, write: bool, k: u64) {
+        debug_assert!(k > 0);
+        self.tick = self.tick.wrapping_add(k as u32);
+        let set = self.set_of(a);
+        let tag = self.tag_of(a);
+        let ways = self.geom.ways as usize;
+        for w in &mut self.ways[set..set + ways] {
+            if w.tag == tag && w.state != LineState::Invalid {
+                w.lru = self.tick;
+                if write {
+                    debug_assert!(
+                        matches!(w.state, LineState::Exclusive | LineState::Modified),
+                        "hit_run write requires ownership"
+                    );
+                    w.state = LineState::Modified;
+                }
+                self.hits += k;
+                return;
+            }
+        }
+        debug_assert!(false, "hit_run on absent line");
+    }
+
     /// Install the line containing `a` with `state`, evicting the LRU (or an
     /// invalid) way. Returns the victim `(line_base, was_dirty)` if a valid
     /// line was displaced.
@@ -341,6 +372,32 @@ mod tests {
         assert_eq!(c.state_of(0x000), LineState::Invalid);
         assert_eq!(c.state_of(0x020), LineState::Invalid);
         assert_eq!(c.state_of(0x040), LineState::Invalid);
+    }
+
+    #[test]
+    fn hit_run_matches_repeated_access() {
+        let mut a = small();
+        let mut b = small();
+        for c in [&mut a, &mut b] {
+            c.fill(0x000, LineState::Exclusive);
+            c.fill(0x080, LineState::Shared);
+        }
+        // k scalar accesses on `a`, one batched hit_run on `b`.
+        for _ in 0..5 {
+            assert_eq!(a.access(0x000, true), Lookup::Hit);
+        }
+        b.hit_run(0x000, true, 5);
+        for _ in 0..3 {
+            assert_eq!(a.access(0x080, false), Lookup::Hit);
+        }
+        b.hit_run(0x080, false, 3);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.state_of(0x000), b.state_of(0x000));
+        // LRU stamps agree: the same subsequent fill evicts the same victim.
+        assert_eq!(
+            a.fill(0x100, LineState::Shared),
+            b.fill(0x100, LineState::Shared)
+        );
     }
 
     #[test]

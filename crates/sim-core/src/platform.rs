@@ -74,6 +74,65 @@ pub trait Platform: Send {
     /// Perform a store of the low `len` bytes of `val`.
     fn store(&mut self, t: &mut Timing, addr: Addr, len: u8, val: u64);
 
+    /// Bulk load: perform loads of `len` bytes at `addr + i*stride` for
+    /// `i = 0..out.len()`, writing each value into `out[i]`, and return how
+    /// many were performed.
+    ///
+    /// Contract (shared with [`Platform::store_bulk`]): the batch must be
+    /// *observably identical* to calling [`Platform::load`] once per word in
+    /// order, and must perform **at least one** word, stopping after the
+    /// first word that leaves `*t.now > budget`. The scheduler computes
+    /// `budget` as the virtual time up to which this processor may run
+    /// without yielding; stopping there lets it interleave processors at
+    /// exactly the same points as the scalar path, which is what makes bulk
+    /// runs bit-identical to word-at-a-time runs.
+    ///
+    /// The default implementation is the scalar loop; platforms override it
+    /// to walk their tag arrays and page tables once per line/page run
+    /// instead of once per word.
+    fn load_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        out: &mut [u64],
+        budget: u64,
+    ) -> usize {
+        let mut done = 0;
+        for slot in out.iter_mut() {
+            *slot = self.load(t, addr + done as u64 * stride, len);
+            done += 1;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Bulk store: the store-side twin of [`Platform::load_bulk`], storing
+    /// `vals[i]` at `addr + i*stride`. Same budget contract; returns how many
+    /// words were performed.
+    fn store_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        vals: &[u64],
+        budget: u64,
+    ) -> usize {
+        let mut done = 0;
+        for &v in vals {
+            self.store(t, addr + done as u64 * stride, len, v);
+            done += 1;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
     /// Processor `t.pid` issues an acquire request for `lock`. Charges the
     /// local send overhead and returns the virtual time at which the request
     /// reaches the arbitration point (manager/owner/home).

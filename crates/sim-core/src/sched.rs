@@ -41,6 +41,12 @@ pub struct RunConfig {
     /// Diagnostic name for this run (e.g. `"LU/Alg"`), attached to race
     /// reports.
     pub label: String,
+    /// Use the bulk fast path for the slice operations
+    /// ([`Proc::load_slice`] and friends). On by default; turning it off
+    /// replays every slice word-at-a-time through [`Proc::load`] /
+    /// [`Proc::store`] in the same order — the reference the equivalence
+    /// tests compare against, and the "before" side of the perf benchmarks.
+    pub bulk: bool,
 }
 
 impl RunConfig {
@@ -51,7 +57,16 @@ impl RunConfig {
             quantum: 2_000,
             detect_races: false,
             label: String::new(),
+            bulk: true,
         }
+    }
+
+    /// Disable the bulk fast path: every slice operation degrades to the
+    /// word-at-a-time scalar path. Timing must be bit-identical either way;
+    /// `tests/equivalence.rs` sweeps this against the default.
+    pub fn scalar_reference(mut self) -> Self {
+        self.bulk = false;
+        self
     }
 
     /// Enable happens-before race detection for this run.
@@ -138,6 +153,20 @@ impl Inner {
         best
     }
 
+    /// Virtual time up to which the running processor may advance without
+    /// [`Proc::maybe_yield`] handing the turn over. The bulk fast path runs
+    /// a batch until the first word that leaves the clock *past* this budget
+    /// — exactly where the scalar path's per-word `maybe_yield` would fire —
+    /// then re-enters the scheduler, so interleavings are bit-identical.
+    /// Constant within a batch: only the running processor mutates clocks
+    /// and statuses.
+    fn yield_budget(&self) -> u64 {
+        match self.min_ready() {
+            Some((_, clk)) => clk.saturating_add(self.quantum),
+            None => u64::MAX,
+        }
+    }
+
     fn describe(&self) -> String {
         let mut s = String::new();
         for pid in 0..self.status.len() {
@@ -161,8 +190,13 @@ impl Inner {
 pub struct Proc {
     pid: usize,
     nprocs: usize,
+    bulk: bool,
     shared: Arc<Shared>,
 }
+
+/// Chunk size (words) for the slice convenience wrappers: big enough to
+/// amortize a lock round-trip, small enough to live on the stack.
+const SLICE_CHUNK: usize = 1024;
 
 impl Proc {
     /// This processor's id (0-based).
@@ -181,19 +215,28 @@ impl Proc {
     #[inline]
     pub fn work(&mut self, cycles: u64) {
         let mut g = self.shared.lock();
-        if g.timing_on {
-            g.clocks[self.pid] += cycles;
-            let pid = self.pid;
-            g.stats[pid].add(Bucket::Compute, cycles);
+        if !g.timing_on {
+            // Clocks stay mutually equal while timing is off (nothing
+            // advances them), so `maybe_yield` could never fire — skip its
+            // ready-queue scan entirely.
+            return;
         }
+        g.clocks[self.pid] += cycles;
+        let pid = self.pid;
+        g.stats[pid].add(Bucket::Compute, cycles);
         self.maybe_yield(g);
     }
 
     /// Set the current application phase for per-phase time attribution.
+    /// The phase is sticky across `start_timing`, so calls while timing is
+    /// off still record it — but a no-op change returns without touching
+    /// the statistics.
     pub fn set_phase(&mut self, phase: usize) {
         let mut g = self.shared.lock();
         let pid = self.pid;
-        g.stats[pid].set_phase(phase);
+        if g.stats[pid].phase() != phase {
+            g.stats[pid].set_phase(phase);
+        }
     }
 
     /// Allocate shared memory (bump allocation; never freed).
@@ -280,6 +323,196 @@ impl Proc {
     #[inline]
     pub fn write_u32(&mut self, addr: Addr, v: u32) {
         self.store(addr, 4, v as u64);
+    }
+
+    // ---- bulk operations ----
+    //
+    // One scheduler-lock round-trip per *batch* instead of per word. The
+    // platform walks its tag arrays / page tables per line-or-page run and
+    // stops at the first word that exhausts the yield budget (see
+    // `Inner::yield_budget`); the race detector is still fed per word. The
+    // result is bit-identical `RunStats` to the scalar path — asserted over
+    // every app x class x platform in `tests/equivalence.rs`.
+
+    /// Load `out.len()` values of `len` bytes each from `addr + i*stride`.
+    pub fn load_slice(&mut self, addr: Addr, stride: u64, len: u8, out: &mut [u64]) {
+        if !self.bulk {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.load(addr + i as u64 * stride, len);
+            }
+            return;
+        }
+        let mut done = 0;
+        while done < out.len() {
+            let mut g = self.shared.lock();
+            let inner = &mut *g;
+            let budget = inner.yield_budget();
+            let base = addr + done as u64 * stride;
+            let k = {
+                let mut t = Timing {
+                    pid: self.pid,
+                    now: &mut inner.clocks[self.pid],
+                    stats: &mut inner.stats[self.pid],
+                    placement: inner.alloc.map(),
+                    timing_on: inner.timing_on,
+                };
+                inner
+                    .platform
+                    .load_bulk(&mut t, base, stride, len, &mut out[done..], budget)
+            };
+            debug_assert!(k >= 1, "load_bulk must perform at least one word");
+            if let Some(d) = inner.detector.as_mut() {
+                for i in 0..k {
+                    d.on_read(self.pid, base + i as u64 * stride, len, &inner.alloc);
+                }
+            }
+            done += k;
+            self.maybe_yield(g);
+        }
+    }
+
+    /// Store `vals[i]` (`len` bytes each) to `addr + i*stride`.
+    pub fn store_slice(&mut self, addr: Addr, stride: u64, len: u8, vals: &[u64]) {
+        if !self.bulk {
+            for (i, &v) in vals.iter().enumerate() {
+                self.store(addr + i as u64 * stride, len, v);
+            }
+            return;
+        }
+        let mut done = 0;
+        while done < vals.len() {
+            let mut g = self.shared.lock();
+            let inner = &mut *g;
+            let budget = inner.yield_budget();
+            let base = addr + done as u64 * stride;
+            let k = {
+                let mut t = Timing {
+                    pid: self.pid,
+                    now: &mut inner.clocks[self.pid],
+                    stats: &mut inner.stats[self.pid],
+                    placement: inner.alloc.map(),
+                    timing_on: inner.timing_on,
+                };
+                inner
+                    .platform
+                    .store_bulk(&mut t, base, stride, len, &vals[done..], budget)
+            };
+            debug_assert!(k >= 1, "store_bulk must perform at least one word");
+            if let Some(d) = inner.detector.as_mut() {
+                for i in 0..k {
+                    d.on_write(self.pid, base + i as u64 * stride, len, &inner.alloc);
+                }
+            }
+            done += k;
+            self.maybe_yield(g);
+        }
+    }
+
+    /// Bulk convenience: load `out.len()` `f64`s spaced `stride` bytes apart.
+    pub fn read_f64_slice(&mut self, addr: Addr, stride: u64, out: &mut [f64]) {
+        let mut buf = [0u64; SLICE_CHUNK];
+        let mut i = 0;
+        while i < out.len() {
+            let n = (out.len() - i).min(SLICE_CHUNK);
+            self.load_slice(addr + i as u64 * stride, stride, 8, &mut buf[..n]);
+            for j in 0..n {
+                out[i + j] = f64::from_bits(buf[j]);
+            }
+            i += n;
+        }
+    }
+
+    /// Bulk convenience: store `vals` as `f64`s spaced `stride` bytes apart.
+    pub fn write_f64_slice(&mut self, addr: Addr, stride: u64, vals: &[f64]) {
+        let mut buf = [0u64; SLICE_CHUNK];
+        let mut i = 0;
+        while i < vals.len() {
+            let n = (vals.len() - i).min(SLICE_CHUNK);
+            for j in 0..n {
+                buf[j] = vals[i + j].to_bits();
+            }
+            self.store_slice(addr + i as u64 * stride, stride, 8, &buf[..n]);
+            i += n;
+        }
+    }
+
+    /// Bulk convenience: load `out.len()` `u32`s spaced `stride` bytes apart.
+    pub fn read_u32_slice(&mut self, addr: Addr, stride: u64, out: &mut [u32]) {
+        let mut buf = [0u64; SLICE_CHUNK];
+        let mut i = 0;
+        while i < out.len() {
+            let n = (out.len() - i).min(SLICE_CHUNK);
+            self.load_slice(addr + i as u64 * stride, stride, 4, &mut buf[..n]);
+            for j in 0..n {
+                out[i + j] = buf[j] as u32;
+            }
+            i += n;
+        }
+    }
+
+    /// Bulk convenience: store `vals` as `u32`s spaced `stride` bytes apart.
+    pub fn write_u32_slice(&mut self, addr: Addr, stride: u64, vals: &[u32]) {
+        let mut buf = [0u64; SLICE_CHUNK];
+        let mut i = 0;
+        while i < vals.len() {
+            let n = (vals.len() - i).min(SLICE_CHUNK);
+            for j in 0..n {
+                buf[j] = vals[i + j] as u64;
+            }
+            self.store_slice(addr + i as u64 * stride, stride, 4, &buf[..n]);
+            i += n;
+        }
+    }
+
+    /// Store `count` copies of the low `len` bytes of `val` contiguously
+    /// from `addr` (stride = `len`): the bulk clear/memset.
+    pub fn fill(&mut self, addr: Addr, len: u8, count: u64, val: u64) {
+        let buf = [val; SLICE_CHUNK];
+        let mut i = 0u64;
+        while i < count {
+            let n = ((count - i) as usize).min(SLICE_CHUNK);
+            self.store_slice(addr + i * len as u64, len as u64, len, &buf[..n]);
+            i += n as u64;
+        }
+    }
+
+    /// Charge `count` elements of `per_elem` compute cycles each — the fused
+    /// equivalent of calling [`Proc::work`]`(per_elem)` once per element
+    /// (e.g. one flop-pair per word streamed), entering the scheduler once
+    /// per yield budget instead of once per element.
+    pub fn work_fused(&mut self, per_elem: u64, count: u64) {
+        if !self.bulk {
+            for _ in 0..count {
+                self.work(per_elem);
+            }
+            return;
+        }
+        let mut left = count;
+        while left > 0 {
+            let mut g = self.shared.lock();
+            if !g.timing_on {
+                return; // as in `work`: nothing to charge, nothing can yield
+            }
+            let budget = g.yield_budget();
+            let now = g.clocks[self.pid];
+            // First element index (1-based) whose completion pushes the
+            // clock past the budget — exactly where the scalar path's
+            // per-element `maybe_yield` would hand the turn over.
+            let k = if now > budget {
+                1
+            } else {
+                match (budget - now).checked_div(per_elem) {
+                    // per_elem == 0: the batch can never reach the budget
+                    None => left,
+                    Some(q) => q.saturating_add(1).min(left),
+                }
+            };
+            g.clocks[self.pid] += k * per_elem;
+            let pid = self.pid;
+            g.stats[pid].add(Bucket::Compute, k * per_elem);
+            left -= k;
+            self.maybe_yield(g);
+        }
     }
 
     /// Acquire lock `id` (blocking in virtual time).
@@ -628,6 +861,7 @@ where
     F: Fn(&mut Proc) + Sync,
 {
     let nprocs = cfg.nprocs;
+    let bulk = cfg.bulk;
     assert_eq!(
         platform.nprocs(),
         nprocs,
@@ -673,6 +907,7 @@ where
                         let mut proc = Proc {
                             pid,
                             nprocs,
+                            bulk,
                             shared,
                         };
                         // Wait to be scheduled for the first time.

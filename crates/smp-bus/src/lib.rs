@@ -252,6 +252,102 @@ impl Platform for SmpPlatform {
         self.mem.store(addr, len, val);
     }
 
+    // Bulk fast path: an L1 hit (valid line for reads, owned line for
+    // writes — Shared writes need a bus upgrade) costs exactly Compute 1
+    // and never touches the bus or snoop state, so a run of k such words
+    // within one line batches to counters + Compute k + one `hit_run` + k
+    // backing-memory moves. Other words fall back to the scalar path.
+    fn load_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        out: &mut [u64],
+        budget: u64,
+    ) -> usize {
+        let pid = t.pid;
+        let l1_line = self.caches[pid].0.geom().line;
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr + done as u64 * stride;
+            if self.caches[pid].0.state_of(a) == LineState::Invalid {
+                out[done] = self.load(t, a, len);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.caches[pid].0.line_base(a) + l1_line;
+            let mut k = (out.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.caches[pid].0.hit_run(a, false, k);
+            for i in 0..k {
+                out[done + i as usize] = self.mem.load(a + i * stride, len);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
+    fn store_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        vals: &[u64],
+        budget: u64,
+    ) -> usize {
+        let pid = t.pid;
+        let l1_line = self.caches[pid].0.geom().line;
+        let mut done = 0usize;
+        while done < vals.len() {
+            let a = addr + done as u64 * stride;
+            if !matches!(
+                self.caches[pid].0.state_of(a),
+                LineState::Exclusive | LineState::Modified
+            ) {
+                self.store(t, a, len, vals[done]);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.caches[pid].0.line_base(a) + l1_line;
+            let mut k = (vals.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.caches[pid].0.hit_run(a, true, k);
+            for i in 0..k {
+                self.mem.store(a + i * stride, len, vals[done + i as usize]);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
     fn acquire_request(&mut self, t: &mut Timing, _lock: u32) -> u64 {
         t.charge(Bucket::LockWait, self.cfg.lock_base);
         if !t.timing_on {

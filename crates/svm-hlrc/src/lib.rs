@@ -501,6 +501,142 @@ impl Platform for SvmPlatform {
         self.frame_store(t.pid, addr, len, val);
     }
 
+    // Bulk fast path: a word is "fast" when the scalar path would do no
+    // protocol work for it — no pending interrupt debt, the page already
+    // mapped at this node (with write permission for stores: present in the
+    // page table as ReadWrite, so no fault/twin), and the word's line in L1
+    // with sufficient permission (any valid state for reads; Exclusive or
+    // Modified for writes — a Shared write would be an upgrade miss). Such a
+    // word costs exactly Compute 1, so a run of k fast words within one L1
+    // line batches to: accesses += k, charge(Compute, k), one `hit_run`,
+    // k frame moves, and (stores, multi-processor nodes) one sibling-line
+    // invalidation — each identical to k scalar iterations. Lines never
+    // straddle pages, so one page lookup covers the run. Non-fast words
+    // fall back to the scalar `load`/`store` one word at a time.
+    fn load_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        out: &mut [u64],
+        budget: u64,
+    ) -> usize {
+        let nd = self.node_of(t.pid);
+        let l1_line = self.caches[t.pid].0.geom().line;
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr + done as u64 * stride;
+            let page = a >> self.page_shift;
+            let fast = self.nodes[nd].debt == 0
+                && self.nodes[nd].pages.contains_key(&page)
+                && self.caches[t.pid].0.state_of(a) != LineState::Invalid;
+            if !fast {
+                out[done] = self.load(t, a, len);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.caches[t.pid].0.line_base(a) + l1_line;
+            let mut k = (out.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                // Each fast word costs exactly one cycle; the scalar path
+                // yields after the first word past the budget.
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.caches[t.pid].0.hit_run(a, false, k);
+            let page_base = page << self.page_shift;
+            let frame = &self.nodes[nd].pages[&page].frame;
+            for i in 0..k {
+                let off = (a + i * stride - page_base) as usize;
+                let mut b = [0u8; 8];
+                b[..len as usize].copy_from_slice(&frame[off..off + len as usize]);
+                out[done + i as usize] = u64::from_le_bytes(b);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
+    fn store_bulk(
+        &mut self,
+        t: &mut Timing,
+        addr: Addr,
+        stride: u64,
+        len: u8,
+        vals: &[u64],
+        budget: u64,
+    ) -> usize {
+        let nd = self.node_of(t.pid);
+        let l1_line = self.caches[t.pid].0.geom().line;
+        let mut done = 0usize;
+        while done < vals.len() {
+            let a = addr + done as u64 * stride;
+            let page = a >> self.page_shift;
+            let fast = self.nodes[nd].debt == 0
+                && self.nodes[nd]
+                    .pages
+                    .get(&page)
+                    .is_some_and(|e| e.state == PState::ReadWrite)
+                && matches!(
+                    self.caches[t.pid].0.state_of(a),
+                    LineState::Exclusive | LineState::Modified
+                );
+            if !fast {
+                self.store(t, a, len, vals[done]);
+                done += 1;
+                if *t.now > budget {
+                    break;
+                }
+                continue;
+            }
+            let line_end = self.caches[t.pid].0.line_base(a) + l1_line;
+            let mut k = (vals.len() - done) as u64;
+            if stride > 0 {
+                k = k.min((line_end - a).div_ceil(stride));
+            }
+            if t.timing_on {
+                k = k.min(budget.saturating_sub(*t.now).saturating_add(1));
+            }
+            t.stats.counters.accesses += k;
+            t.charge(Bucket::Compute, k);
+            self.caches[t.pid].0.hit_run(a, true, k);
+            if self.cfg.procs_per_node > 1 {
+                // The scalar path invalidates the sibling copies of this
+                // line once per word; repeats are idempotent, so once per
+                // run is identical.
+                for q in self.node_procs(nd) {
+                    if q != t.pid {
+                        self.caches[q].0.set_state(a, LineState::Invalid);
+                        self.caches[q].1.set_state(a, LineState::Invalid);
+                    }
+                }
+            }
+            let page_base = page << self.page_shift;
+            let frame = &mut self.nodes[nd].pages.get_mut(&page).unwrap().frame;
+            for i in 0..k {
+                let off = (a + i * stride - page_base) as usize;
+                frame[off..off + len as usize]
+                    .copy_from_slice(&vals[done + i as usize].to_le_bytes()[..len as usize]);
+            }
+            done += k as usize;
+            if *t.now > budget {
+                break;
+            }
+        }
+        done
+    }
+
     fn acquire_request(&mut self, t: &mut Timing, lock: u32) -> u64 {
         self.apply_debt(t);
         // Local send overhead.

@@ -11,6 +11,8 @@ use apps::raytrace::{self, RaytraceParams, RaytraceVersion};
 use apps::shearwarp::{self, ShearWarpParams, ShearWarpVersion};
 use apps::volrend::{self, VolrendParams, VolrendVersion};
 use apps::Platform;
+use apps::{App, AppSpec, OptClass, Scale};
+use sim_core::RunConfig;
 
 const PLATFORMS: [Platform; 5] = [
     Platform::Svm,
@@ -122,6 +124,77 @@ fn barnes_runs_on_every_platform() {
         let r = barnes::run_params(pf, 4, &params, BarnesVersion::SharedTree);
         assert!(r.stats.total_cycles() > 0);
     }
+}
+
+// ---- scalar-vs-bulk equivalence ----
+//
+// The bulk fast path (`Proc::load_slice` & friends, `RunConfig::bulk`) must
+// be *bit-identical* in simulated time to the word-at-a-time scalar path:
+// same clocks, same per-phase bucket breakdowns, same protocol counters,
+// same race reports. One test per application sweeps every optimization
+// class x the three study platforms x detector on/off.
+
+fn assert_scalar_bulk_identical(app: App) {
+    for class in OptClass::ALL {
+        for pf in apps::Platform::ALL {
+            for detect in [false, true] {
+                let spec = AppSpec { app, class };
+                let mk = || {
+                    let mut cfg = RunConfig::new(4);
+                    if detect {
+                        cfg = cfg.with_race_detection();
+                    }
+                    cfg
+                };
+                let bulk = spec.run_cfg(pf, 4, Scale::Test, mk());
+                let scalar = spec.run_cfg(pf, 4, Scale::Test, mk().scalar_reference());
+                assert_eq!(
+                    bulk,
+                    scalar,
+                    "bulk and scalar RunStats diverge: {}/{} on {:?} detector={}",
+                    app.name(),
+                    class.label(),
+                    pf,
+                    detect
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_vs_bulk_lu() {
+    assert_scalar_bulk_identical(App::Lu);
+}
+
+#[test]
+fn scalar_vs_bulk_ocean() {
+    assert_scalar_bulk_identical(App::Ocean);
+}
+
+#[test]
+fn scalar_vs_bulk_volrend() {
+    assert_scalar_bulk_identical(App::Volrend);
+}
+
+#[test]
+fn scalar_vs_bulk_shearwarp() {
+    assert_scalar_bulk_identical(App::ShearWarp);
+}
+
+#[test]
+fn scalar_vs_bulk_raytrace() {
+    assert_scalar_bulk_identical(App::Raytrace);
+}
+
+#[test]
+fn scalar_vs_bulk_barnes() {
+    assert_scalar_bulk_identical(App::Barnes);
+}
+
+#[test]
+fn scalar_vs_bulk_radix() {
+    assert_scalar_bulk_identical(App::Radix);
 }
 
 #[test]
