@@ -245,17 +245,23 @@ pub fn run_params_cfg(
         let me = p.pid();
         if me == 0 {
             let nprocs = p.nprocs();
-            let mk = |p: &mut Proc| -> GL {
+            let mk = |p: &mut Proc, label: &'static str| -> GL {
                 match version {
                     OceanVersion::Orig2d => GL::G2 {
-                        base: p.alloc_shared((n * n * 8) as u64, PAGE_SIZE, Placement::RoundRobin),
+                        base: p.alloc_shared_labeled(
+                            label,
+                            (n * n * 8) as u64,
+                            PAGE_SIZE,
+                            Placement::RoundRobin,
+                        ),
                         pitch: n,
                     },
                     OceanVersion::PadAlign => {
                         let grain = platform.grain();
                         let pitch = (((n * 8) as u64).div_ceil(grain) * grain / 8) as usize;
                         GL::G2 {
-                            base: p.alloc_shared(
+                            base: p.alloc_shared_labeled(
+                                label,
                                 (n * pitch * 8) as u64,
                                 PAGE_SIZE,
                                 Placement::RoundRobin,
@@ -269,7 +275,8 @@ pub fn run_params_cfg(
                         let bsz = ((bdim * bdim * 8) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
                         let chunk = bsz / PAGE_SIZE;
                         GL::G4 {
-                            base: p.alloc_shared(
+                            base: p.alloc_shared_labeled(
+                                label,
                                 bsz * (sp * sp) as u64,
                                 PAGE_SIZE,
                                 Placement::Blocked { chunk_pages: chunk },
@@ -279,14 +286,19 @@ pub fn run_params_cfg(
                         }
                     }
                     OceanVersion::RowWise => GL::G2 {
-                        base: p.alloc_shared((n * n * 8) as u64, PAGE_SIZE, Placement::FirstTouch),
+                        base: p.alloc_shared_labeled(
+                            label,
+                            (n * n * 8) as u64,
+                            PAGE_SIZE,
+                            Placement::FirstTouch,
+                        ),
                         pitch: n,
                     },
                 }
             };
-            let psi = mk(p);
-            let rhs = mk(p);
-            let tmp = mk(p);
+            let psi = mk(p, "psi");
+            let rhs = mk(p, "rhs");
+            let tmp = mk(p, "tmp");
             let resid = p.alloc_shared_labeled("resid", 8, 8, Placement::Node(0));
             layout_bc.put((psi, rhs, tmp, resid));
         }

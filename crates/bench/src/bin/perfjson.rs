@@ -8,9 +8,14 @@
 //! bit-identical `RunStats` (enforced by `tests/equivalence.rs`); this
 //! binary measures only how fast the simulator gets there.
 //!
+//! One extra cell (Ocean on SVM) runs with the sharing profiler on: its
+//! `RunStats` must stay bit-identical to the profiler-off run, its host
+//! overhead is recorded in the JSON, and the gathered per-page profile is
+//! written to `--profile-out` for CI to archive.
+//!
 //! ```text
 //! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
-//!     --procs N --out PATH]
+//!     --procs N --out PATH --profile-out PATH]
 //! ```
 
 use apps::{App, AppSpec, OptClass, Platform, Scale};
@@ -31,6 +36,7 @@ fn main() {
     let mut scale = Scale::Default;
     let mut nprocs = 8usize;
     let mut out_path = String::from("BENCH_simulator.json");
+    let mut profile_path = String::from("BENCH_sharing_profile.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,6 +56,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_path = args[i].clone();
+            }
+            "--profile-out" => {
+                i += 1;
+                profile_path = args[i].clone();
             }
             other => panic!("unknown argument {other}"),
         }
@@ -97,11 +107,49 @@ fn main() {
         }
     }
 
+    // One profiler-on cell: the sharing profiler must be invisible in the
+    // statistics (only the `sharing` field may differ) and cheap on the
+    // host. The profile itself is written out for CI to archive.
+    let prof_spec = AppSpec {
+        app: App::Ocean,
+        class: OptClass::Algorithm,
+    };
+    eprintln!("[perfjson] Ocean on SVM with sharing profiler...");
+    let t2 = Instant::now();
+    let plain = prof_spec.run_cfg(Platform::Svm, nprocs, scale, RunConfig::new(nprocs));
+    let host_s_plain = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let profiled = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs).with_sharing_profile(),
+    );
+    let host_s_profiled = t3.elapsed().as_secs_f64();
+    let profile = profiled.sharing.clone().expect("SVM produces a profile");
+    let mut stripped = profiled;
+    stripped.sharing = None;
+    assert_eq!(
+        stripped, plain,
+        "sharing profiler perturbed RunStats for Ocean on SVM"
+    );
+    std::fs::write(&profile_path, profile.to_json()).expect("write sharing profile json");
+    eprintln!("[perfjson] wrote {profile_path}");
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"simulator-throughput\",");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"nprocs\": {nprocs},");
+    let _ = writeln!(
+        json,
+        "  \"profiled_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"host_s_plain\": {:.4}, \"host_s_profiled\": {:.4}, \
+         \"profiler_overhead\": {:.2}}},",
+        host_s_plain,
+        host_s_profiled,
+        host_s_profiled / host_s_plain.max(1e-12)
+    );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let speedup = c.host_s_scalar / c.host_s_bulk.max(1e-12);

@@ -18,12 +18,19 @@ fn main() {
     // Re-run through the app module but with a profiled platform: use the
     // module's public pieces at this scale.
     let platform = apps::Platform::Svm.boxed(opts.nprocs);
-    let (stats, profile) = run_profiled(platform, RunConfig::new(opts.nprocs), |p| {
-        ocean_body_shim(p, &params);
-    });
+    let (stats, profile) = run_profiled(
+        platform,
+        RunConfig::new(opts.nprocs).with_sharing_profile(),
+        |p| {
+            ocean_body_shim(p, &params);
+        },
+    );
     println!("execution time: {} cycles", stats.total_cycles());
     println!();
     println!("{}", profile.unwrap_or_else(|| "no profile".into()));
+    if let Some(sharing) = &stats.sharing {
+        println!("{}", sharing.report());
+    }
 }
 
 /// Minimal Ocean-original body for profiling (same access pattern as

@@ -1,0 +1,147 @@
+//! sharing — per-label true/false-sharing diagnostics across OptClasses.
+//!
+//! The paper's diagnosis method as a tool: run one application on a
+//! page-based platform at every optimization class with the sharing
+//! profiler on, and print, per allocation label, how much of the diff
+//! traffic each restructuring step converted away from false sharing.
+//! Page-grained coherence turns word-disjoint writes into false sharing
+//! (§2.1); the P/A and DS classes exist to remove exactly that, and this
+//! table shows them doing it.
+//!
+//! ```text
+//! cargo run --release -p figures --bin sharing [-- --scale test|default|paper \
+//!     --procs N --app ocean --platform svm|tmk --json PATH]
+//! ```
+
+use apps::{App, AppSpec, OptClass, Platform, Scale};
+use figures::{header, sweep};
+use sim_core::{RunConfig, SharingProfile};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Default;
+    let mut nprocs = 16usize;
+    let mut app = App::Ocean;
+    let mut platform = Platform::Svm;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("unknown scale {other:?} (test|default|paper)"),
+                };
+            }
+            "--procs" => {
+                i += 1;
+                nprocs = args[i].parse().expect("--procs N");
+            }
+            "--app" => {
+                i += 1;
+                let name = args[i].to_ascii_lowercase();
+                app = *App::ALL
+                    .iter()
+                    .find(|a| a.name().to_ascii_lowercase() == name)
+                    .unwrap_or_else(|| panic!("unknown app {name}"));
+            }
+            "--platform" => {
+                i += 1;
+                platform = match args.get(i).map(String::as_str) {
+                    Some("svm") => Platform::Svm,
+                    Some("tmk") => Platform::Tmk,
+                    other => panic!("unknown platform {other:?} (svm|tmk — page-based only)"),
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    header(
+        "Sharing diagnostics",
+        &format!(
+            "true/false-sharing attribution for {} on {} across optimization classes",
+            app.name(),
+            platform.name()
+        ),
+        "attributing diff/fetch traffic to data structures before and after \
+         each restructuring (the paper's diagnosis method, §4-§5)",
+    );
+
+    // The four class runs are independent deterministic cells.
+    eprintln!(
+        "  [sweep] {} cells on up to {} host threads...",
+        OptClass::ALL.len(),
+        sweep::host_threads()
+    );
+    let profiles: Vec<(OptClass, SharingProfile)> = sweep::parallel_map(&OptClass::ALL, |&class| {
+        let stats = AppSpec { app, class }.run_cfg(
+            platform,
+            nprocs,
+            scale,
+            RunConfig::new(nprocs).with_sharing_profile(),
+        );
+        (class, stats.sharing.expect("page-based platform profiles"))
+    });
+
+    for (class, prof) in &profiles {
+        println!("--- {} ---", class.label());
+        println!("{}", prof.report());
+    }
+
+    // Before/after summary: false-sharing share of diff traffic per label,
+    // one column per class. Labels ordered by the Orig run's heat.
+    let mut labels: Vec<&'static str> = Vec::new();
+    for (_, prof) in &profiles {
+        for l in prof.labels() {
+            if !labels.contains(&l.label) {
+                labels.push(l.label);
+            }
+        }
+    }
+    println!("false-sharing share of diff words, by label and class:");
+    print!("{:<20}", "label");
+    for (class, _) in &profiles {
+        print!(" {:>10}", class.label());
+    }
+    println!();
+    for &label in &labels {
+        print!("{:<20}", if label.is_empty() { "-" } else { label });
+        for (_, prof) in &profiles {
+            match prof.label(label) {
+                Some(l) => print!(" {:>9.1}%", 100.0 * l.false_share()),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"app\": \"{}\",", app.name());
+        let _ = writeln!(json, "  \"platform\": \"{}\",", platform.name());
+        let _ = writeln!(json, "  \"nprocs\": {nprocs},");
+        json.push_str("  \"classes\": [\n");
+        for (i, (class, prof)) in profiles.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"class\": \"{}\", \"profile\": {}}}{}",
+                class.label(),
+                prof.to_json().trim_end(),
+                if i + 1 < profiles.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, &json).expect("write sharing json");
+        eprintln!("[sharing] wrote {path}");
+    }
+}

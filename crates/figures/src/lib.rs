@@ -299,8 +299,8 @@ pub fn breakdown_figure(
     println!("{}", breakdown_table(stats));
     let c = stats.sum_counters();
     println!(
-        "counters: remote_fetches={} lock_acquires={} barriers={} diffs={} invalidations={}",
-        c.remote_fetches, c.lock_acquires, c.barriers, c.diffs_created, c.invalidations
+        "counters: remote_fetches={} lock_acquires={} barriers={} diffs_created={} diffs_applied={} invalidations={}",
+        c.remote_fetches, c.lock_acquires, c.barriers, c.diffs_created, c.diffs_applied, c.invalidations
     );
     println!(
         "speedup vs uniprocessor original: {:.2}",

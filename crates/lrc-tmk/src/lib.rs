@@ -28,7 +28,7 @@ use sim_core::platform::{Platform, Timing};
 use sim_core::stats::{Bucket, ProcStats};
 use sim_core::util::{FxMap, FxSet};
 use sim_core::{Addr, PlacementMap, Resource};
-use svm_hlrc::{Diff, PState, PageEntry, SvmConfig};
+use svm_hlrc::{build_profile, Diff, PState, PageEntry, PageTrack, SvmConfig};
 
 /// One archived diff: who wrote it and what changed.
 struct ArchivedDiff {
@@ -66,6 +66,11 @@ struct Interval {
 struct Acc {
     cycles: u64,
     invals: u64,
+    /// Diffs archived into page chains by write-notice invalidations. The
+    /// caller folds these into the invalidated node's `diffs_created` and
+    /// `diffs_applied` counters (archival *is* this protocol's application —
+    /// there is no home copy to patch).
+    archived: u64,
 }
 
 /// The non-home-based LRC platform. Reuses [`SvmConfig`] — the machine is
@@ -80,6 +85,10 @@ pub struct TmkPlatform {
     intervals: Vec<Vec<Interval>>,
     log_base: Vec<u32>,
     lock_vc: FxMap<u32, Vec<u32>>,
+    /// Per-page protocol activity (shared tracker with `svm-hlrc`).
+    activity: FxMap<u64, PageTrack>,
+    /// Gather word-granularity sharing footprints (never affects timing).
+    profiling: bool,
 }
 
 impl TmkPlatform {
@@ -110,6 +119,8 @@ impl TmkPlatform {
             intervals: vec![Vec::new(); n],
             log_base: vec![0; n],
             lock_vc: FxMap::default(),
+            activity: FxMap::default(),
+            profiling: false,
         }
     }
 
@@ -160,21 +171,30 @@ impl TmkPlatform {
         let already = *self.nodes[pid].applied.get(&page).unwrap_or(&0);
         let had_copy = self.nodes[pid].pages.contains_key(&page);
         t.charge(Bucket::DataWait, self.cfg.fault_trap);
-        if t.timing_on {
-            // Distinct writers in the missing suffix.
-            let mut writers: Vec<usize> = Vec::new();
-            let mut suffix_words = 0u64;
-            let mut suffix_runs = 0u64;
-            {
-                let log = self.logs_by_page.get(&page).unwrap();
-                for a in log.chain.iter().skip(already as usize) {
-                    if a.writer != pid && !writers.contains(&a.writer) {
-                        writers.push(a.writer);
-                    }
-                    suffix_words += a.diff.len() as u64;
-                    suffix_runs += a.diff.runs as u64;
+        // Distinct writers in the missing suffix (pure reads over the chain,
+        // so computing this outside the timing check changes nothing).
+        let mut writers: Vec<usize> = Vec::new();
+        let mut suffix_words = 0u64;
+        let mut suffix_runs = 0u64;
+        {
+            let log = self.logs_by_page.get(&page).unwrap();
+            for a in log.chain.iter().skip(already as usize) {
+                if a.writer != pid && !writers.contains(&a.writer) {
+                    writers.push(a.writer);
                 }
+                suffix_words += a.diff.len() as u64;
+                suffix_runs += a.diff.run_count() as u64;
             }
+        }
+        let base_wire = if had_copy { 0 } else { self.page_bytes() };
+        let wire = base_wire
+            + writers.len() as u64 * (suffix_runs * 8 + suffix_words * 4 + self.cfg.ctrl_msg_bytes);
+        let (profiling, wpp) = (self.profiling, self.cfg.words_per_page() as usize);
+        self.activity
+            .entry(page)
+            .or_default()
+            .record_fetch(pid, wire, profiling, wpp);
+        if t.timing_on {
             let ctrl = self.cfg.ctrl_msg_bytes * self.cfg.io_cyc_per_byte;
             let mut done = *t.now;
             if !had_copy {
@@ -309,6 +329,17 @@ impl TmkPlatform {
                 + diff.len() as u64 * self.cfg.diff_scan_per_word;
             t.charge(Bucket::HandlerCompute, scan);
             t.stats.counters.diffs_created += 1;
+            // Archival into the page chain *is* this protocol's diff
+            // application — there is no home copy to patch — so the two
+            // counters stay structurally equal.
+            t.stats.counters.diffs_applied += 1;
+            let (profiling, wpp) = (self.profiling, self.cfg.words_per_page() as usize);
+            // Wire cost 0: the chain is kept at the writer; bytes move at
+            // the faulting reader's gather, accounted in `fetch_page`.
+            self.activity
+                .entry(page)
+                .or_default()
+                .record_diff(pid, &diff, 0, profiling, wpp);
             // The writer's own copy reflects its diff.
             let chain_len = {
                 let log = self.log_entry(page);
@@ -337,11 +368,18 @@ impl TmkPlatform {
                 if timing_on {
                     acc.cycles += self.cfg.words_per_page() * self.cfg.diff_scan_per_word;
                 }
+                acc.archived += 1;
+                let (profiling, wpp) = (self.profiling, self.cfg.words_per_page() as usize);
+                self.activity
+                    .entry(page)
+                    .or_default()
+                    .record_diff(g, &diff, 0, profiling, wpp);
                 let log = self.log_entry(page);
                 log.chain.push(ArchivedDiff { writer: g, diff });
             }
             Some(PState::ReadOnly) => {}
         }
+        self.activity.entry(page).or_default().record_inval();
         self.nodes[g].pages.remove(&page);
         self.nodes[g].applied.remove(&page);
         let base = page << self.page_shift;
@@ -588,6 +626,8 @@ impl Platform for TmkPlatform {
         };
         let acc = self.consume_notices(pid, &upto, timing_on);
         stats.counters.invalidations += acc.invals;
+        stats.counters.diffs_created += acc.archived;
+        stats.counters.diffs_applied += acc.archived;
         if !timing_on {
             return grant_at;
         }
@@ -641,6 +681,8 @@ impl Platform for TmkPlatform {
         for q in 0..n {
             let acc = self.consume_notices(q, &vt, timing_on);
             stats[q].counters.invalidations += acc.invals;
+            stats[q].counters.diffs_created += acc.archived;
+            stats[q].counters.diffs_applied += acc.archived;
             if q == mgr {
                 mgr_acc = acc;
                 continue;
@@ -666,12 +708,56 @@ impl Platform for TmkPlatform {
     }
 
     fn reset_timing(&mut self) {
+        self.activity.clear();
         for node in &mut self.nodes {
             node.handler.reset();
             node.io_in.reset();
             node.io_out.reset();
             node.debt = 0;
         }
+    }
+
+    fn profile(&self) -> Option<String> {
+        if self.activity.is_empty() {
+            return None;
+        }
+        let mut pages: Vec<(&u64, &PageTrack)> = self.activity.iter().collect();
+        pages.sort_by_key(|(p, a)| (std::cmp::Reverse(a.fetches), **p));
+        let mut s = String::from(
+            "TMK page profile (hottest pages by remote fetches):\n             page_base          fetches  diff_words   diff_runs  wire_bytes  invalidations\n",
+        );
+        let total: u64 = pages.iter().map(|(_, a)| a.fetches).sum();
+        for (page, a) in pages.iter().take(16) {
+            s.push_str(&format!(
+                "{:#014x} {:>10} {:>11} {:>11} {:>11} {:>14}\n",
+                **page << self.page_shift,
+                a.fetches,
+                a.diff_words,
+                a.diff_runs,
+                a.wire_bytes,
+                a.invalidations
+            ));
+        }
+        let top: u64 = pages.iter().take(16).map(|(_, a)| a.fetches).sum();
+        s.push_str(&format!(
+            "{} pages active; top 16 pages account for {:.0}% of {} fetches\n",
+            pages.len(),
+            100.0 * top as f64 / total.max(1) as f64,
+            total
+        ));
+        Some(s)
+    }
+
+    fn set_sharing_profile(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {
+        Some(build_profile(
+            &self.activity,
+            self.page_shift,
+            self.page_bytes(),
+        ))
     }
 }
 
@@ -691,7 +777,7 @@ mod tests {
     #[test]
     fn data_flows_through_diff_chains() {
         let got = std::sync::Mutex::new(vec![0u64; 2]);
-        tmk_run(2, |p| {
+        let stats = tmk_run(2, |p| {
             if p.pid() == 0 {
                 p.alloc_shared(PAGE_SIZE, 8, Placement::RoundRobin);
             }
@@ -706,6 +792,10 @@ mod tests {
             p.barrier(2);
         });
         assert_eq!(*got.lock().unwrap(), vec![7, 7]);
+        // Archival is application in this protocol: the counters pair up.
+        let c = stats.sum_counters();
+        assert!(c.diffs_created > 0);
+        assert_eq!(c.diffs_created, c.diffs_applied);
     }
 
     #[test]

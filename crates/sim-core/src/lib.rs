@@ -47,6 +47,7 @@ pub mod mem;
 pub mod platform;
 pub mod resource;
 pub mod sched;
+pub mod sharing;
 pub mod stats;
 pub mod util;
 pub mod view;
@@ -59,5 +60,6 @@ pub use mem::FlatMem;
 pub use platform::{NullPlatform, Platform, Timing};
 pub use resource::Resource;
 pub use sched::{run, run_profiled, Proc, RunConfig};
+pub use sharing::{LabelSharing, PageSharing, SharingClass, SharingProfile};
 pub use stats::{Bucket, Counter, ProcStats, RunStats, MAX_PHASES};
 pub use view::{GArr, Grid2, Grid4, Word};

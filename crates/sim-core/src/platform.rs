@@ -187,6 +187,27 @@ pub trait Platform: Send {
     fn profile(&self) -> Option<String> {
         None
     }
+
+    /// Enable or disable word-granularity sharing profiling for the run
+    /// (called once, before any simulated processor starts). Platforms with
+    /// nothing to profile ignore it. Profiling must never charge cycles:
+    /// statistics stay bit-identical either way.
+    fn set_sharing_profile(&mut self, _on: bool) {}
+
+    /// The per-page sharing profile gathered since the last
+    /// [`Platform::reset_timing`], if this platform produces one. Labels are
+    /// attributed by the scheduler (the platform does not see the allocator).
+    fn sharing_profile(&self) -> Option<crate::sharing::SharingProfile> {
+        None
+    }
+
+    /// Called once after every simulated processor has finished, with the
+    /// full statistics slice: the platform drains protocol counters that
+    /// accrue at nodes other than the event initiator (e.g. diffs applied at
+    /// a page's home) into the owning node's statistics. Deterministic and
+    /// path-independent — it runs at the same point for scalar and bulk
+    /// runs, so the equivalence sweeps still hold.
+    fn finalize(&mut self, _stats: &mut [ProcStats]) {}
 }
 
 /// A trivial platform: every access costs one cycle, synchronization is

@@ -47,6 +47,12 @@ pub struct RunConfig {
     /// [`Proc::store`] in the same order — the reference the equivalence
     /// tests compare against, and the "before" side of the perf benchmarks.
     pub bulk: bool,
+    /// Gather a per-page [`crate::sharing::SharingProfile`] on page-based
+    /// platforms (word-granularity write footprints, writer/reader sets,
+    /// true-vs-false sharing classification), attached as
+    /// [`RunStats::sharing`]. Off by default; timing statistics are
+    /// bit-identical either way.
+    pub sharing_profile: bool,
 }
 
 impl RunConfig {
@@ -58,6 +64,7 @@ impl RunConfig {
             detect_races: false,
             label: String::new(),
             bulk: true,
+            sharing_profile: false,
         }
     }
 
@@ -72,6 +79,13 @@ impl RunConfig {
     /// Enable happens-before race detection for this run.
     pub fn with_race_detection(mut self) -> Self {
         self.detect_races = true;
+        self
+    }
+
+    /// Enable the per-page sharing profiler for this run (see
+    /// [`crate::sharing`]).
+    pub fn with_sharing_profile(mut self) -> Self {
+        self.sharing_profile = true;
         self
     }
 
@@ -868,6 +882,8 @@ where
         "platform and RunConfig disagree on processor count"
     );
     assert!(nprocs >= 1);
+    let mut platform = platform;
+    platform.set_sharing_profile(cfg.sharing_profile);
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
             platform,
@@ -958,13 +974,21 @@ where
         panic!("simulated processor panicked: {msg}");
     }
 
-    let inner = Arc::try_unwrap(shared)
+    let mut inner = Arc::try_unwrap(shared)
         .ok()
         .expect("all processor threads exited")
         .inner
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
+    inner.platform.finalize(&mut inner.stats);
     let profile = inner.platform.profile();
+    let sharing = cfg.sharing_profile.then(|| {
+        let mut prof = inner.platform.sharing_profile().unwrap_or_default();
+        for p in &mut prof.pages {
+            p.label = inner.alloc.label_of(p.page_base);
+        }
+        prof
+    });
     let races = inner
         .detector
         .map(RaceDetector::into_reports)
@@ -974,6 +998,7 @@ where
             procs: inner.stats,
             clocks: inner.clocks,
             races,
+            sharing,
         },
         profile,
     )

@@ -177,6 +177,11 @@ pub struct RunStats {
     /// [`crate::RunConfig::detect_races`] (empty otherwise). One report per
     /// racy word, capped; see [`crate::detector`].
     pub races: Vec<crate::detector::RaceReport>,
+    /// Per-page sharing profile, when the run was configured with
+    /// [`crate::RunConfig::with_sharing_profile`] (`None` otherwise, keeping
+    /// the off path bit-identical to builds without the profiler). Empty on
+    /// platforms that are not page-based. See [`crate::sharing`].
+    pub sharing: Option<crate::sharing::SharingProfile>,
 }
 
 impl RunStats {
@@ -282,6 +287,7 @@ mod tests {
             procs: vec![a, b],
             clocks: vec![50, 70],
             races: Vec::new(),
+            sharing: None,
         };
         assert_eq!(rs.total_cycles(), 70);
         assert_eq!(rs.sum(Bucket::Compute), 50);

@@ -29,9 +29,11 @@
 #![allow(clippy::needless_range_loop)]
 mod config;
 mod page;
+mod track;
 
 pub use config::SvmConfig;
-pub use page::{Diff, PState, PageEntry};
+pub use page::{Diff, DiffWords, PState, PageEntry};
+pub use track::{build_profile, PageTrack};
 
 use sim_core::cache::{Cache, LineState, Lookup};
 use sim_core::platform::{Platform, Timing};
@@ -51,6 +53,13 @@ struct Node {
     /// requests; charged to its clock at its next own event (interrupt
     /// dilation).
     debt: u64,
+    /// Diffs this node created from paths that have no access to its
+    /// statistics (write-notice invalidation flushes); drained into its
+    /// counters by [`Platform::finalize`].
+    diffs_created_debt: u64,
+    /// Diffs applied at this node's homes; the applier is a remote flusher,
+    /// so the count accrues here and is drained by [`Platform::finalize`].
+    diffs_applied_debt: u64,
 }
 
 /// Write-notice interval: the pages one processor dirtied between two
@@ -67,14 +76,6 @@ struct Acc {
     invals: u64,
 }
 
-/// Per-page protocol activity, for the diagnostic profile.
-#[derive(Clone, Copy, Debug, Default)]
-struct PageActivity {
-    fetches: u64,
-    diff_words: u64,
-    invalidations: u64,
-}
-
 /// The home-based lazy release consistency platform.
 pub struct SvmPlatform {
     cfg: SvmConfig,
@@ -82,7 +83,10 @@ pub struct SvmPlatform {
     nodes: Vec<Node>,
     /// Per-processor cache hierarchies.
     caches: Vec<(Cache, Cache)>,
-    activity: FxMap<u64, PageActivity>,
+    activity: FxMap<u64, PageTrack>,
+    /// Word-granularity sharing footprints requested for this run (see
+    /// [`sim_core::sharing`]); counters in `activity` are always on.
+    profiling: bool,
     /// Closed-interval counts (vector timestamp component per processor).
     vt: Vec<u32>,
     /// `vc[g][r]`: how many of r's intervals processor g has consumed.
@@ -107,6 +111,8 @@ impl SvmPlatform {
                 io_in: Resource::new(),
                 io_out: Resource::new(),
                 debt: 0,
+                diffs_created_debt: 0,
+                diffs_applied_debt: 0,
             })
             .collect();
         let caches = (0..cfg.nprocs)
@@ -123,6 +129,7 @@ impl SvmPlatform {
             nodes,
             caches,
             activity: FxMap::default(),
+            profiling: false,
             vt: vec![0; nn],
             vc: vec![vec![0; nn]; nn],
             logs: vec![Vec::new(); nn],
@@ -206,7 +213,12 @@ impl SvmPlatform {
         }
         t.stats.counters.remote_fetches += 1;
         t.stats.counters.bytes_transferred += self.page_bytes() + self.cfg.ctrl_msg_bytes;
-        self.activity.entry(page).or_default().fetches += 1;
+        let wire = self.page_bytes() + self.cfg.ctrl_msg_bytes;
+        let (profiling, words) = (self.profiling, self.cfg.words_per_page() as usize);
+        self.activity
+            .entry(page)
+            .or_default()
+            .record_fetch(nd, wire, profiling, words);
     }
 
     /// Processor ids hosted by node `nd`.
@@ -329,13 +341,19 @@ impl SvmPlatform {
         }
         let twin = entry.twin.take().expect("dirty remote page without twin");
         let diff = Diff::create(&twin, &entry.frame);
-        self.activity.entry(page).or_default().diff_words += diff.len() as u64;
         let nwords = diff.len() as u64;
-        let nruns = diff.runs as u64;
+        let nruns = diff.run_count() as u64;
         let wire_bytes = diff.wire_bytes() + self.cfg.ctrl_msg_bytes;
-        // Apply to home frame (state).
+        let (profiling, words) = (self.profiling, self.cfg.words_per_page() as usize);
+        self.activity
+            .entry(page)
+            .or_default()
+            .record_diff(nd, &diff, wire_bytes, profiling, words);
+        // Apply to home frame (state). The applier is remote: count the
+        // application at the home via its debt counter, drained at finalize.
         self.home_frame_entry(home, page);
         diff.apply(&mut self.nodes[home].pages.get_mut(&page).unwrap().frame);
+        self.nodes[home].diffs_applied_debt += 1;
         // The home's processors may hold stale lines for the words just
         // patched; conservatively drop the page's lines there.
         let base = page << self.page_shift;
@@ -390,7 +408,6 @@ impl SvmPlatform {
         self.logs[nd].push(Interval { pages });
         self.vt[nd] += 1;
         self.vc[nd][nd] = self.vt[nd];
-        t.stats.counters.diffs_applied += 0; // applied at homes; tracked via debt
         all_applied
     }
 
@@ -415,6 +432,9 @@ impl SvmPlatform {
             None => {}
             Some(PState::ReadWrite) => {
                 let (local, _, _) = self.flush_page(g, page, home, 0, timing_on);
+                // The flusher here is the invalidated node, whose statistics
+                // this path cannot reach: accrue and drain at finalize.
+                self.nodes[g].diffs_created_debt += 1;
                 acc.cycles += local;
                 self.nodes[g].pages.remove(&page);
                 acc.cycles += self.cfg.inval_per_page;
@@ -427,7 +447,7 @@ impl SvmPlatform {
             }
         }
         if state.is_some() {
-            self.activity.entry(page).or_default().invalidations += 1;
+            self.activity.entry(page).or_default().record_inval();
         }
         let base = page << self.page_shift;
         let len = self.cfg.page_size;
@@ -778,6 +798,8 @@ impl Platform for SvmPlatform {
             node.io_in.reset();
             node.io_out.reset();
             node.debt = 0;
+            node.diffs_created_debt = 0;
+            node.diffs_applied_debt = 0;
         }
     }
 
@@ -788,18 +810,20 @@ impl Platform for SvmPlatform {
         // The page-level performance-debugging report the paper says real
         // SVM systems should provide: the hottest pages by fetch count,
         // with their diff and invalidation volume.
-        let mut pages: Vec<(&u64, &PageActivity)> = self.activity.iter().collect();
+        let mut pages: Vec<(&u64, &PageTrack)> = self.activity.iter().collect();
         pages.sort_by_key(|(p, a)| (std::cmp::Reverse(a.fetches), **p));
         let mut s = String::from(
-            "SVM page profile (hottest pages by remote fetches):\n             page_base          fetches  diff_words  invalidations\n",
+            "SVM page profile (hottest pages by remote fetches):\n             page_base          fetches  diff_words   diff_runs  wire_bytes  invalidations\n",
         );
         let total: u64 = pages.iter().map(|(_, a)| a.fetches).sum();
         for (page, a) in pages.iter().take(16) {
             s.push_str(&format!(
-                "{:#014x} {:>10} {:>11} {:>14}\n",
+                "{:#014x} {:>10} {:>11} {:>11} {:>11} {:>14}\n",
                 **page << self.page_shift,
                 a.fetches,
                 a.diff_words,
+                a.diff_runs,
+                a.wire_bytes,
                 a.invalidations
             ));
         }
@@ -811,6 +835,32 @@ impl Platform for SvmPlatform {
             total
         ));
         Some(s)
+    }
+
+    fn set_sharing_profile(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {
+        Some(track::build_profile(
+            &self.activity,
+            self.page_shift,
+            self.page_bytes(),
+        ))
+    }
+
+    fn finalize(&mut self, stats: &mut [ProcStats]) {
+        // Drain protocol counters that accrued at non-initiator nodes into
+        // the node's first processor. Runs once, after all simulated
+        // processors have exited, so it cannot perturb the interleaving.
+        let ppn = self.cfg.procs_per_node;
+        for nd in 0..self.nodes.len() {
+            let c = &mut stats[nd * ppn].counters;
+            c.diffs_created += self.nodes[nd].diffs_created_debt;
+            c.diffs_applied += self.nodes[nd].diffs_applied_debt;
+            self.nodes[nd].diffs_created_debt = 0;
+            self.nodes[nd].diffs_applied_debt = 0;
+        }
     }
 }
 
@@ -966,6 +1016,9 @@ mod tests {
         });
         assert_eq!(stats.procs[1].counters.twins_created, 1);
         assert_eq!(stats.procs[1].counters.diffs_created, 1);
+        // The diff is applied at the home (node 0), counted via finalize.
+        assert_eq!(stats.procs[0].counters.diffs_applied, 1);
+        assert_eq!(stats.procs[1].counters.diffs_applied, 0);
         // Home node writes never twin.
         assert_eq!(stats.procs[0].counters.twins_created, 0);
     }

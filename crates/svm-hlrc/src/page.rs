@@ -43,19 +43,19 @@ impl PageEntry {
     }
 }
 
-/// A word-granularity diff: the 4-byte words at which `dirty` differs from
-/// `twin`, as `(word_index, new_value)` pairs. Four-byte granularity matches
-/// TreadMarks-style SVM systems and is essential for correctness under
-/// word-level false sharing (e.g. two processors writing adjacent `u32`
-/// sort keys within the same 8-byte span).
+/// A word-granularity diff, run-length encoded as real SVM systems encode
+/// them on the wire: a `(first_word, word_count)` header per maximal
+/// contiguous run of differing 4-byte words, plus the runs' dirty bytes
+/// concatenated run-major. Four-byte granularity matches TreadMarks-style
+/// SVM systems and is essential for correctness under word-level false
+/// sharing (e.g. two processors writing adjacent `u32` sort keys within the
+/// same 8-byte span).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Diff {
-    /// Differing 4-byte words.
-    pub words: Vec<(u32, u32)>,
-    /// Number of contiguous runs among `words` (real SVM systems encode
-    /// diffs as (offset, length, data...) runs, so scattered single-word
-    /// diffs cost far more wire per word than contiguous ones).
-    pub runs: u32,
+    /// `(first word index, words in run)` per contiguous run, ascending.
+    runs: Vec<(u32, u32)>,
+    /// The runs' dirty bytes, concatenated in run order (4 bytes per word).
+    data: Vec<u8>,
 }
 
 impl Diff {
@@ -64,59 +64,111 @@ impl Diff {
     pub fn create(twin: &[u8], dirty: &[u8]) -> Self {
         debug_assert_eq!(twin.len(), dirty.len());
         debug_assert_eq!(twin.len() % 4, 0);
-        let mut words = Vec::new();
-        let mut runs = 0u32;
-        let mut prev: Option<u32> = None;
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut data = Vec::new();
         for i in (0..dirty.len()).step_by(4) {
-            let a = u32::from_le_bytes(twin[i..i + 4].try_into().unwrap());
-            let b = u32::from_le_bytes(dirty[i..i + 4].try_into().unwrap());
-            if a != b {
+            if twin[i..i + 4] != dirty[i..i + 4] {
                 let w = (i / 4) as u32;
-                if prev != Some(w.wrapping_sub(1)) {
-                    runs += 1;
+                match runs.last_mut() {
+                    Some((start, len)) if *start + *len == w => *len += 1,
+                    _ => runs.push((w, 1)),
                 }
-                prev = Some(w);
-                words.push((w, b));
+                data.extend_from_slice(&dirty[i..i + 4]);
             }
         }
-        Self { words, runs }
+        Self { runs, data }
     }
 
-    /// Apply this diff to `target` (the home frame).
+    /// Apply this diff to `target` (the home frame): one `copy_from_slice`
+    /// per contiguous run.
     pub fn apply(&self, target: &mut [u8]) {
-        for &(w, v) in &self.words {
+        let mut off = 0usize;
+        for &(w, n) in &self.runs {
+            let dst = w as usize * 4;
+            let bytes = n as usize * 4;
+            target[dst..dst + bytes].copy_from_slice(&self.data[off..off + bytes]);
+            off += bytes;
+        }
+    }
+
+    /// Reference apply: one 4-byte copy per word. Kept as the oracle the
+    /// randomized unit tests compare [`Diff::apply`] against.
+    pub fn apply_word_at_a_time(&self, target: &mut [u8]) {
+        for (w, v) in self.words() {
             let i = w as usize * 4;
             target[i..i + 4].copy_from_slice(&v.to_le_bytes());
         }
     }
 
+    /// Iterate the differing words as `(word_index, new_value)` pairs, in
+    /// ascending word order.
+    pub fn words(&self) -> DiffWords<'_> {
+        DiffWords {
+            diff: self,
+            run: 0,
+            idx: 0,
+            off: 0,
+        }
+    }
+
     /// Number of differing words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.data.len() / 4
     }
 
     /// True when nothing changed.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.data.is_empty()
     }
 
-    /// Wire size in bytes: run-length encoded — an 8-byte (offset, length)
-    /// header per contiguous run plus 4 bytes per word.
+    /// Number of maximal contiguous runs of differing words.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Wire size in bytes: an 8-byte (offset, length) header per contiguous
+    /// run plus 4 bytes per word.
     pub fn wire_bytes(&self) -> u64 {
-        (self.runs as usize * 8 + self.words.len() * 4) as u64
+        (self.runs.len() * 8 + self.data.len()) as u64
+    }
+}
+
+/// Iterator over a [`Diff`]'s `(word_index, new_value)` pairs.
+pub struct DiffWords<'a> {
+    diff: &'a Diff,
+    run: usize,
+    idx: u32,
+    off: usize,
+}
+
+impl Iterator for DiffWords<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        let &(start, len) = self.diff.runs.get(self.run)?;
+        let w = start + self.idx;
+        let v = u32::from_le_bytes(self.diff.data[self.off..self.off + 4].try_into().unwrap());
+        self.off += 4;
+        self.idx += 1;
+        if self.idx == len {
+            self.run += 1;
+            self.idx = 0;
+        }
+        Some((w, v))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::util::XorShift64;
 
     #[test]
     fn diff_of_identical_pages_is_empty() {
         let a = vec![7u8; 64];
         let d = Diff::create(&a, &a);
         assert!(d.is_empty());
-        assert_eq!(d.runs, 0);
+        assert_eq!(d.run_count(), 0);
         assert_eq!(d.wire_bytes(), 0);
     }
 
@@ -128,7 +180,7 @@ mod tests {
         dirty[120..128].copy_from_slice(&u64::MAX.to_le_bytes());
         let d = Diff::create(&twin, &dirty);
         assert_eq!(d.len(), 3); // 123 fits one u32 word; u64::MAX spans two
-        assert_eq!(d.runs, 2); // one single-word run + one two-word run
+        assert_eq!(d.run_count(), 2); // one single-word run + one two-word run
         let mut home = twin.clone();
         d.apply(&mut home);
         assert_eq!(home, dirty);
@@ -146,8 +198,8 @@ mod tests {
         let ds = Diff::create(&twin, &scattered);
         let dc = Diff::create(&twin, &contiguous);
         assert_eq!(ds.len(), dc.len());
-        assert_eq!(ds.runs, 8);
-        assert_eq!(dc.runs, 1);
+        assert_eq!(ds.run_count(), 8);
+        assert_eq!(dc.run_count(), 1);
         assert!(ds.wire_bytes() > 2 * dc.wire_bytes());
     }
 
@@ -168,5 +220,41 @@ mod tests {
         d2.apply(&mut home);
         assert_eq!(u64::from_le_bytes(home[0..8].try_into().unwrap()), 1);
         assert_eq!(u64::from_le_bytes(home[8..16].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn run_apply_matches_word_at_a_time_on_random_diffs() {
+        // The bulk (one copy per run) apply must be byte-identical to the
+        // per-word reference on randomized dirty patterns: isolated words,
+        // runs, run ends at the page boundary, everything in between.
+        for case in 0..64u64 {
+            let mut rng = XorShift64::new(0xA11C ^ (case << 8));
+            let npages = 1 + rng.below(3);
+            let size = (npages * 256) as usize;
+            let twin: Vec<u8> = (0..size).map(|_| rng.next_u64() as u8).collect();
+            let mut dirty = twin.clone();
+            for _ in 0..rng.below(40) {
+                // Dirty a random run of 1..8 words.
+                let w = rng.below((size / 4) as u64) as usize;
+                let n = (1 + rng.below(8)) as usize;
+                for k in 0..n.min(size / 4 - w) {
+                    let v = rng.next_u64() as u32;
+                    dirty[(w + k) * 4..(w + k) * 4 + 4].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            let d = Diff::create(&twin, &dirty);
+            let mut fast = twin.clone();
+            d.apply(&mut fast);
+            let mut slow = twin.clone();
+            d.apply_word_at_a_time(&mut slow);
+            assert_eq!(fast, slow, "case {case}");
+            assert_eq!(fast, dirty, "case {case}");
+            // The iterator agrees with the encoding's own invariants.
+            assert_eq!(d.words().count(), d.len(), "case {case}");
+            assert!(
+                d.words().zip(d.words().skip(1)).all(|(a, b)| a.0 < b.0),
+                "case {case}: words not ascending"
+            );
+        }
     }
 }

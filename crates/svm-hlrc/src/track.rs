@@ -1,0 +1,222 @@
+//! Per-page protocol activity tracking, shared by the two page-based
+//! platforms (`svm-hlrc` and `lrc-tmk`).
+//!
+//! The counter half ([`PageTrack`]'s public fields) is always on — it feeds
+//! the cheap [`Platform::profile`](sim_core::Platform::profile) text report.
+//! The word-granularity sharing footprint (writer/reader sets plus a
+//! per-word diff-ownership map) is gathered only when the run enables
+//! [`RunConfig::with_sharing_profile`](sim_core::RunConfig::with_sharing_profile);
+//! either way, tracking never charges cycles, so timing statistics are
+//! bit-identical with profiling on or off.
+
+use crate::page::Diff;
+use sim_core::sharing::{PageSharing, SharingClass, SharingProfile};
+use sim_core::util::FxMap;
+
+/// Per-word diff-ownership sentinel: written by more than one node.
+const MULTI: u16 = u16::MAX;
+
+/// Activity record for one protocol page.
+#[derive(Clone, Debug, Default)]
+pub struct PageTrack {
+    /// Remote fetches of this page.
+    pub fetches: u64,
+    /// Total diffed 4-byte words.
+    pub diff_words: u64,
+    /// Total contiguous diff runs.
+    pub diff_runs: u64,
+    /// Bytes moved over the interconnect for this page.
+    pub wire_bytes: u64,
+    /// Write-notice invalidations applied to copies of this page.
+    pub invalidations: u64,
+    /// Word-granularity sharing footprint (profiling runs only).
+    share: Option<ShareTrack>,
+}
+
+#[derive(Clone, Debug)]
+struct ShareTrack {
+    /// Nodes that diffed the page, ascending.
+    writers: Vec<u32>,
+    /// Nodes that fetched the page, ascending.
+    readers: Vec<u32>,
+    /// Per word: diffing node + 1 (0 = never diffed, [`MULTI`] = several).
+    owner: Box<[u16]>,
+    /// Two nodes diffed the same word: genuine communication.
+    overlap: bool,
+}
+
+impl ShareTrack {
+    fn new(words_per_page: usize) -> Self {
+        Self {
+            writers: Vec::new(),
+            readers: Vec::new(),
+            owner: vec![0u16; words_per_page].into_boxed_slice(),
+            overlap: false,
+        }
+    }
+}
+
+fn insert_sorted(v: &mut Vec<u32>, x: u32) {
+    if let Err(i) = v.binary_search(&x) {
+        v.insert(i, x);
+    }
+}
+
+impl PageTrack {
+    /// Record a remote fetch by node `reader` moving `wire` bytes.
+    pub fn record_fetch(&mut self, reader: usize, wire: u64, profiling: bool, words: usize) {
+        self.fetches += 1;
+        self.wire_bytes += wire;
+        if profiling {
+            let share = self.share.get_or_insert_with(|| ShareTrack::new(words));
+            insert_sorted(&mut share.readers, reader as u32);
+        }
+    }
+
+    /// Record a diff of this page created by node `writer`, moving `wire`
+    /// bytes (0 for protocols that archive diffs locally).
+    pub fn record_diff(
+        &mut self,
+        writer: usize,
+        diff: &Diff,
+        wire: u64,
+        profiling: bool,
+        words: usize,
+    ) {
+        self.diff_words += diff.len() as u64;
+        self.diff_runs += diff.run_count() as u64;
+        self.wire_bytes += wire;
+        if profiling {
+            let share = self.share.get_or_insert_with(|| ShareTrack::new(words));
+            insert_sorted(&mut share.writers, writer as u32);
+            let me = writer as u16 + 1;
+            for (w, _) in diff.words() {
+                let o = &mut share.owner[w as usize];
+                if *o == 0 {
+                    *o = me;
+                } else if *o != me {
+                    *o = MULTI;
+                    share.overlap = true;
+                }
+            }
+        }
+    }
+
+    /// Record a write-notice invalidation of a copy of this page.
+    pub fn record_inval(&mut self) {
+        self.invalidations += 1;
+    }
+
+    fn classify(&self) -> SharingClass {
+        match self.share.as_ref() {
+            None => SharingClass::ReadShared,
+            Some(s) => match s.writers.len() {
+                0 => SharingClass::ReadShared,
+                1 => SharingClass::SingleWriter,
+                _ if s.overlap => SharingClass::TrueSharing,
+                _ => SharingClass::FalseSharing,
+            },
+        }
+    }
+}
+
+/// Assemble a [`SharingProfile`] from a page→[`PageTrack`] map. Allocation
+/// labels are left empty; the scheduler fills them from the allocator.
+pub fn build_profile(
+    activity: &FxMap<u64, PageTrack>,
+    page_shift: u32,
+    page_bytes: u64,
+) -> SharingProfile {
+    let mut pages: Vec<PageSharing> = activity
+        .iter()
+        .map(|(&page, t)| {
+            let (writers, readers) = match t.share.as_ref() {
+                Some(s) => (s.writers.clone(), s.readers.clone()),
+                None => (Vec::new(), Vec::new()),
+            };
+            PageSharing {
+                page_base: page << page_shift,
+                label: "",
+                fetches: t.fetches,
+                diff_words: t.diff_words,
+                diff_runs: t.diff_runs,
+                wire_bytes: t.wire_bytes,
+                invalidations: t.invalidations,
+                writers,
+                readers,
+                class: t.classify(),
+            }
+        })
+        .collect();
+    pages.sort_by_key(|p| p.page_base);
+    SharingProfile { page_bytes, pages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diff_of(words: &[(usize, u32)], size: usize) -> Diff {
+        let twin = vec![0u8; size];
+        let mut dirty = twin.clone();
+        for &(w, v) in words {
+            dirty[w * 4..w * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Diff::create(&twin, &dirty)
+    }
+
+    #[test]
+    fn disjoint_writers_classify_as_false_sharing() {
+        let mut t = PageTrack::default();
+        t.record_diff(0, &diff_of(&[(0, 1), (1, 2)], 64), 20, true, 16);
+        t.record_diff(1, &diff_of(&[(8, 3)], 64), 12, true, 16);
+        assert_eq!(t.classify(), SharingClass::FalseSharing);
+        assert_eq!(t.diff_words, 3);
+        assert_eq!(t.diff_runs, 2);
+    }
+
+    #[test]
+    fn overlapping_writers_classify_as_true_sharing() {
+        let mut t = PageTrack::default();
+        t.record_diff(0, &diff_of(&[(4, 1)], 64), 12, true, 16);
+        t.record_diff(2, &diff_of(&[(4, 9)], 64), 12, true, 16);
+        assert_eq!(t.classify(), SharingClass::TrueSharing);
+    }
+
+    #[test]
+    fn single_writer_and_read_only_classes() {
+        let mut w = PageTrack::default();
+        w.record_diff(3, &diff_of(&[(0, 1)], 64), 12, true, 16);
+        w.record_diff(3, &diff_of(&[(5, 1)], 64), 12, true, 16);
+        assert_eq!(w.classify(), SharingClass::SingleWriter);
+        let mut r = PageTrack::default();
+        r.record_fetch(1, 4096, true, 16);
+        r.record_fetch(2, 4096, true, 16);
+        assert_eq!(r.classify(), SharingClass::ReadShared);
+    }
+
+    #[test]
+    fn profiling_off_keeps_counters_but_no_footprint() {
+        let mut t = PageTrack::default();
+        t.record_diff(0, &diff_of(&[(0, 1)], 64), 12, false, 16);
+        t.record_diff(1, &diff_of(&[(8, 1)], 64), 12, false, 16);
+        t.record_fetch(2, 4096, false, 16);
+        assert_eq!(t.diff_words, 2);
+        assert_eq!(t.fetches, 1);
+        assert!(t.share.is_none());
+        // Without footprints everything degrades to ReadShared.
+        assert_eq!(t.classify(), SharingClass::ReadShared);
+    }
+
+    #[test]
+    fn build_profile_sorts_pages_by_address() {
+        let mut map: FxMap<u64, PageTrack> = FxMap::default();
+        map.insert(5, PageTrack::default());
+        map.insert(2, PageTrack::default());
+        map.insert(9, PageTrack::default());
+        let prof = build_profile(&map, 12, 4096);
+        let bases: Vec<u64> = prof.pages.iter().map(|p| p.page_base).collect();
+        assert_eq!(bases, vec![2 << 12, 5 << 12, 9 << 12]);
+        assert_eq!(prof.page_bytes, 4096);
+    }
+}

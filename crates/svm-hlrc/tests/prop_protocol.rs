@@ -53,7 +53,7 @@ fn diff_is_minimal() {
             }
             prev = diff;
         }
-        assert_eq!(d.runs as usize, runs, "case {case}");
+        assert_eq!(d.run_count(), runs, "case {case}");
     }
 }
 

@@ -52,6 +52,18 @@ fn svm_counters_are_consistent() {
     assert!(c.bytes_transferred > c.remote_fetches * 4096 / 2);
     // Every diff has a twin.
     assert!(c.twins_created >= c.diffs_created);
+    // Every diff created somewhere is applied somewhere (at its home).
+    assert_eq!(c.diffs_created, c.diffs_applied);
+}
+
+#[test]
+fn tmk_counters_are_consistent() {
+    let stats = run_one(App::Radix, OptClass::Orig, PlatformKind::Tmk, 4);
+    let c = stats.sum_counters();
+    assert!(c.diffs_created > 0, "no diffs?");
+    // Archival into the page chain is this protocol's application.
+    assert_eq!(c.diffs_created, c.diffs_applied);
+    assert!(c.twins_created >= c.diffs_created);
 }
 
 #[test]

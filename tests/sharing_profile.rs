@@ -1,0 +1,207 @@
+//! Sharing-profiler invariants: protocol diff counters pair up on every
+//! page-based cell, the profiler never perturbs statistics, profiles are
+//! deterministic (including under the parallel sweep driver), the
+//! true/false-sharing classifier is right on synthetic kernels, and the
+//! paper's Ocean restructuring story reproduces at default scale.
+
+use apps::{App, AppSpec, OptClass, Scale};
+use figures::sweep;
+use svm_restructure::prelude::*;
+
+/// The page-based platforms: diffs are created and applied only here.
+const PAGE_BASED: [PlatformKind; 3] = [
+    PlatformKind::Svm,
+    PlatformKind::Tmk,
+    PlatformKind::SvmSmpNodes { ppn: 2 },
+];
+
+#[test]
+fn diffs_created_equals_diffs_applied_on_every_page_based_cell() {
+    let mut cells: Vec<(App, OptClass, PlatformKind)> = Vec::new();
+    for app in App::ALL {
+        for class in OptClass::ALL {
+            for pf in PAGE_BASED {
+                cells.push((app, class, pf));
+            }
+        }
+    }
+    let counters = sweep::parallel_map(&cells, |&(app, class, pf)| {
+        AppSpec { app, class }
+            .run(pf, 4, Scale::Test)
+            .sum_counters()
+    });
+    let mut total_created = 0u64;
+    for ((app, class, pf), c) in cells.iter().zip(&counters) {
+        assert_eq!(
+            c.diffs_created,
+            c.diffs_applied,
+            "created/applied mismatch: {}/{} on {pf:?}",
+            app.name(),
+            class.label()
+        );
+        total_created += c.diffs_created;
+    }
+    // The sweep as a whole must actually exercise the diff machinery.
+    assert!(total_created > 0, "no diffs created anywhere in the sweep");
+}
+
+#[test]
+fn profiler_on_never_changes_statistics() {
+    for (app, pf) in [
+        (App::Ocean, PlatformKind::Svm),
+        (App::Radix, PlatformKind::Tmk),
+        (App::Lu, PlatformKind::SvmSmpNodes { ppn: 2 }),
+    ] {
+        let spec = AppSpec {
+            app,
+            class: OptClass::Orig,
+        };
+        let off = spec.run_cfg(pf, 4, Scale::Test, RunConfig::new(4));
+        let on = spec.run_cfg(pf, 4, Scale::Test, RunConfig::new(4).with_sharing_profile());
+        assert!(off.sharing.is_none());
+        let profile = on.sharing.as_ref().expect("page-based platforms profile");
+        assert!(
+            !profile.pages.is_empty(),
+            "{}/{pf:?}: no pages in profile",
+            app.name()
+        );
+        // Everything except the profile itself is bit-identical.
+        let mut stripped = on.clone();
+        stripped.sharing = None;
+        assert_eq!(
+            stripped,
+            off,
+            "{}/{pf:?}: profiler perturbed stats",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn profile_is_deterministic_even_under_parallel_sweep() {
+    let cell = || {
+        AppSpec {
+            app: App::Ocean,
+            class: OptClass::Orig,
+        }
+        .run_cfg(
+            PlatformKind::Svm,
+            4,
+            Scale::Test,
+            RunConfig::new(4).with_sharing_profile(),
+        )
+        .sharing
+        .expect("svm profiles")
+    };
+    let serial = cell();
+    let swept = sweep::parallel_map(&[(); 4], |_| cell());
+    for (i, prof) in swept.iter().enumerate() {
+        assert_eq!(*prof, serial, "sweep slot {i} diverged");
+    }
+}
+
+#[test]
+fn classifier_separates_true_and_false_sharing() {
+    use sim_core::sharing::SharingClass;
+    let page = sim_core::PAGE_SIZE;
+    // Four processors on SVM; everything is homed at node 0, so processors
+    // 1 and 2 are always remote writers whose stores must flow as diffs.
+    let stats = {
+        let platform = PlatformKind::Svm.boxed(4);
+        let cfg = RunConfig::new(4).with_sharing_profile();
+        run(platform, cfg, move |p| {
+            if p.pid() == 0 {
+                p.alloc_shared_labeled("fs", page, page, Placement::Node(0));
+                p.alloc_shared_labeled("ts", page, page, Placement::Node(0));
+            }
+            p.barrier(0);
+            p.start_timing();
+            let fs = sim_core::HEAP_BASE;
+            let ts = sim_core::HEAP_BASE + page;
+            // Disjoint words of the same page: pure false sharing.
+            if p.pid() == 1 {
+                p.store(fs, 4, 11);
+            }
+            if p.pid() == 2 {
+                p.store(fs + page / 2, 4, 22);
+            }
+            p.barrier(1);
+            // The same word, serialized by a lock: true sharing.
+            if p.pid() == 1 || p.pid() == 2 {
+                p.lock(0);
+                let v = p.load(ts, 4);
+                p.store(ts, 4, v + 1);
+                p.unlock(0);
+            }
+            p.barrier(2);
+            // A reader to populate the reader sets.
+            if p.pid() == 3 {
+                assert_eq!(p.load(ts, 4), 2);
+            }
+            p.barrier(3);
+        })
+    };
+    let profile = stats.sharing.expect("svm profiles");
+    let fs = profile
+        .pages
+        .iter()
+        .find(|pg| pg.label == "fs")
+        .expect("fs page active");
+    assert_eq!(fs.class, SharingClass::FalseSharing, "{fs:?}");
+    assert_eq!(fs.writers, vec![1, 2]);
+    let ts = profile
+        .pages
+        .iter()
+        .find(|pg| pg.label == "ts")
+        .expect("ts page active");
+    assert_eq!(ts.class, SharingClass::TrueSharing, "{ts:?}");
+    assert_eq!(ts.writers, vec![1, 2]);
+    assert!(ts.readers.contains(&3), "{ts:?}");
+    // Label aggregation: all of fs's diff traffic is false sharing.
+    let agg = profile.label("fs").unwrap();
+    assert!(agg.false_share() > 0.99, "{agg:?}");
+    assert!(profile.label("ts").unwrap().false_share() < 0.01);
+}
+
+#[test]
+fn ocean_restructuring_removes_false_sharing_at_default_scale() {
+    // The acceptance experiment: at default scale, the DS (Contig4d)
+    // restructuring must cut the false-sharing share of at least one
+    // allocation label's diff traffic relative to the original layout —
+    // the paper's explanation of *why* the restructuring helps on SVM.
+    let profiles = sweep::parallel_map(&[OptClass::Orig, OptClass::DataStruct], |&class| {
+        AppSpec {
+            app: App::Ocean,
+            class,
+        }
+        .run_cfg(
+            PlatformKind::Svm,
+            4,
+            Scale::Default,
+            RunConfig::new(4).with_sharing_profile(),
+        )
+        .sharing
+        .expect("svm profiles")
+    });
+    let (orig, ds) = (&profiles[0], &profiles[1]);
+    let improved = orig.labels().iter().any(|l| {
+        l.false_share() > 0.10
+            && ds
+                .label(l.label)
+                .map(|d| d.false_share() < l.false_share() / 2.0)
+                .unwrap_or(true)
+    });
+    let render = |p: &sim_core::SharingProfile| {
+        p.labels()
+            .iter()
+            .map(|l| format!("{}={:.1}%", l.label, 100.0 * l.false_share()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    assert!(
+        improved,
+        "no label's false-sharing share dropped: orig [{}] ds [{}]",
+        render(orig),
+        render(ds)
+    );
+}
