@@ -41,6 +41,9 @@ pub mod phase {
     pub const FORCE: usize = 1;
     /// Position/velocity update.
     pub const UPDATE: usize = 2;
+    /// Names, indexed by phase id (registered on the run's `RunConfig` so
+    /// figures and traces print "tree-build" instead of "phase 0").
+    pub const NAMES: [&str; 3] = ["tree-build", "force", "update"];
 }
 
 /// Barnes problem parameters.
@@ -992,6 +995,11 @@ pub fn run_params_cfg(
     version: BarnesVersion,
     cfg: RunConfig,
 ) -> AppResult {
+    let cfg = if cfg.phase_names.is_empty() {
+        cfg.with_phase_names(phase::NAMES)
+    } else {
+        cfg
+    };
     let n = params.n;
     assert_eq!(n % nprocs, 0, "bodies must divide evenly");
     let input = generate_bodies(params);

@@ -39,6 +39,9 @@ pub mod phase {
     pub const PERIMETER: usize = 1;
     /// Interior block updates.
     pub const INTERIOR: usize = 2;
+    /// Names, indexed by phase id (registered on the run's `RunConfig` so
+    /// figures and traces print "diag" instead of "phase 0").
+    pub const NAMES: [&str; 3] = ["diag", "perimeter", "interior"];
 }
 
 /// LU problem parameters.
@@ -356,6 +359,11 @@ pub fn run_params_cfg(
     version: LuVersion,
     cfg: RunConfig,
 ) -> AppResult {
+    let cfg = if cfg.phase_names.is_empty() {
+        cfg.with_phase_names(phase::NAMES)
+    } else {
+        cfg
+    };
     let n = params.n;
     let b = params.block;
     assert_eq!(n % b, 0, "matrix dim must be a multiple of block size");

@@ -39,6 +39,9 @@ pub mod phase {
     pub const COMPOSITE: usize = 0;
     /// Warping the intermediate image into the final image.
     pub const WARP: usize = 1;
+    /// Names, indexed by phase id (registered on the run's `RunConfig` so
+    /// figures and traces print "composite" instead of "phase 0").
+    pub const NAMES: [&str; 2] = ["composite", "warp"];
 }
 
 /// Shear-Warp problem parameters.
@@ -287,6 +290,11 @@ pub fn run_params_cfg(
     version: ShearWarpVersion,
     cfg: RunConfig,
 ) -> AppResult {
+    let cfg = if cfg.phase_names.is_empty() {
+        cfg.with_phase_names(phase::NAMES)
+    } else {
+        cfg
+    };
     let g = Geom::new(params.v);
     let v = params.v;
     let vol = generate_volume(&crate::volrend::VolrendParams {

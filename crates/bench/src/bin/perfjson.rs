@@ -13,9 +13,19 @@
 //! overhead is recorded in the JSON, and the gathered per-page profile is
 //! written to `--profile-out` for CI to archive.
 //!
+//! A second extra cell re-times Ocean on SVM with the race detector on,
+//! scalar vs bulk: the batched shadow-memory checks must produce the same
+//! `RunStats` (and zero races) as the per-word path, and the JSON records
+//! the detector-on bulk speedup.
+//!
+//! A third extra cell runs Ocean on SVM with the event tracer on: the
+//! `RunStats` with the trace stripped must be bit-identical to the plain
+//! run, the default buffer cap must not drop events, and the Chrome
+//! `trace_event` export is written to `--trace-out` for CI to archive.
+//!
 //! ```text
 //! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
-//!     --procs N --out PATH --profile-out PATH]
+//!     --procs N --out PATH --profile-out PATH --trace-out PATH]
 //! ```
 
 use apps::{App, AppSpec, OptClass, Platform, Scale};
@@ -37,6 +47,7 @@ fn main() {
     let mut nprocs = 8usize;
     let mut out_path = String::from("BENCH_simulator.json");
     let mut profile_path = String::from("BENCH_sharing_profile.json");
+    let mut trace_path = String::from("BENCH_trace.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -60,6 +71,10 @@ fn main() {
             "--profile-out" => {
                 i += 1;
                 profile_path = args[i].clone();
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_path = args[i].clone();
             }
             other => panic!("unknown argument {other}"),
         }
@@ -136,6 +151,58 @@ fn main() {
     std::fs::write(&profile_path, profile.to_json()).expect("write sharing profile json");
     eprintln!("[perfjson] wrote {profile_path}");
 
+    // Detector-on cell: the batched shadow-memory checks in the bulk fast
+    // path must match the per-word reference exactly — same RunStats, zero
+    // races on a race-free app — and the JSON records what batching buys.
+    eprintln!("[perfjson] Ocean on SVM with race detector (scalar vs bulk)...");
+    let t4 = Instant::now();
+    let det_scalar = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs)
+            .scalar_reference()
+            .with_race_detection(),
+    );
+    let host_s_det_scalar = t4.elapsed().as_secs_f64();
+    let t5 = Instant::now();
+    let det_bulk = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs).with_race_detection(),
+    );
+    let host_s_det_bulk = t5.elapsed().as_secs_f64();
+    assert_eq!(
+        det_scalar, det_bulk,
+        "detector-on scalar and bulk RunStats diverge for Ocean on SVM"
+    );
+    assert_eq!(det_bulk.races(), 0, "Ocean must be race-free");
+
+    // Traced cell: event tracing must be invisible in the statistics (only
+    // the `trace` field may differ), the default buffer cap must hold the
+    // whole run, and the Perfetto export is archived by CI.
+    eprintln!("[perfjson] Ocean on SVM with event tracer...");
+    let t6 = Instant::now();
+    let mut traced = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs).with_trace(),
+    );
+    let host_s_traced = t6.elapsed().as_secs_f64();
+    let tr = traced.trace.take().expect("tracing was requested");
+    assert_eq!(
+        traced, plain,
+        "event tracer perturbed RunStats for Ocean on SVM"
+    );
+    assert_eq!(tr.dropped_events(), 0, "default trace cap overflowed");
+    std::fs::write(&trace_path, tr.to_chrome_json()).expect("write trace json");
+    eprintln!(
+        "[perfjson] wrote {trace_path} ({} events)",
+        tr.total_events()
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"simulator-throughput\",");
@@ -149,6 +216,27 @@ fn main() {
         host_s_plain,
         host_s_profiled,
         host_s_profiled / host_s_plain.max(1e-12)
+    );
+    let _ = writeln!(
+        json,
+        "  \"detector_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"host_s_scalar\": {:.4}, \"host_s_bulk\": {:.4}, \
+         \"bulk_speedup\": {:.2}, \"races\": {}}},",
+        host_s_det_scalar,
+        host_s_det_bulk,
+        host_s_det_scalar / host_s_det_bulk.max(1e-12),
+        det_bulk.races()
+    );
+    let _ = writeln!(
+        json,
+        "  \"traced_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"host_s_plain\": {:.4}, \"host_s_traced\": {:.4}, \
+         \"tracer_overhead\": {:.2}, \"events\": {}, \"dropped\": {}}},",
+        host_s_plain,
+        host_s_traced,
+        host_s_traced / host_s_plain.max(1e-12),
+        tr.total_events(),
+        tr.dropped_events()
     );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

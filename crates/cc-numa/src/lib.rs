@@ -99,6 +99,8 @@ pub struct DsmPlatform {
     nodes: Vec<Node>,
     directory: FxMap<u64, DirEnt>,
     line_mask: u64,
+    /// Shared event-trace sink for the run (None when tracing is off).
+    trace: Option<sim_core::TraceHandle>,
 }
 
 impl DsmPlatform {
@@ -119,6 +121,7 @@ impl DsmPlatform {
             nodes,
             directory: FxMap::default(),
             line_mask,
+            trace: None,
         }
     }
 
@@ -199,6 +202,14 @@ impl DsmPlatform {
         if remote {
             t.stats.counters.remote_fetches += 1;
             t.stats.counters.bytes_transferred += self.cfg.l2.line;
+            sim_core::trace::emit(
+                &self.trace,
+                t.timing_on,
+                pid,
+                *t.now,
+                sim_core::EventKind::RemoteMiss { line, home },
+            );
+            sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, stall);
         }
         stall
     }
@@ -452,6 +463,10 @@ impl Platform for DsmPlatform {
         for n in &mut self.nodes {
             n.dir.reset();
         }
+    }
+
+    fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
+        self.trace = trace;
     }
 }
 

@@ -30,10 +30,14 @@ fn main() {
         barnes::run(Platform::Svm, nprocs, opts.scale, v).stats
     })
     .into_iter();
-    let base = runs.next().expect("baseline ran").total_cycles();
+    let baseline = runs.next().expect("baseline ran");
+    let base = baseline.total_cycles();
     println!(
         "{:<14} {:>8} {:>12} {:>10}",
-        "version", "speedup", "tree-build%", "locks"
+        "version",
+        "speedup",
+        format!("{}%", baseline.phase_name(phase::TREE_BUILD)),
+        "locks"
     );
     for v in versions {
         let st = runs.next().expect("version ran");

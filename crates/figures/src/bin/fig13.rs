@@ -18,9 +18,12 @@ fn main() {
     let mut r = Runner::new();
     let st = r.parallel(App::Barnes, OptClass::Orig, Platform::Svm, opts);
     println!(
-        "phase shares: tree-build {:.0}%  force {:.0}%  update {:.0}%",
+        "phase shares: {} {:.0}%  {} {:.0}%  {} {:.0}%",
+        st.phase_name(phase::TREE_BUILD),
         100.0 * st.phase_fraction(phase::TREE_BUILD),
+        st.phase_name(phase::FORCE),
         100.0 * st.phase_fraction(phase::FORCE),
+        st.phase_name(phase::UPDATE),
         100.0 * st.phase_fraction(phase::UPDATE),
     );
 }

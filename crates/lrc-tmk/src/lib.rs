@@ -89,6 +89,8 @@ pub struct TmkPlatform {
     activity: FxMap<u64, PageTrack>,
     /// Gather word-granularity sharing footprints (never affects timing).
     profiling: bool,
+    /// Shared event-trace sink for the run (None when tracing is off).
+    trace: Option<sim_core::TraceHandle>,
 }
 
 impl TmkPlatform {
@@ -121,6 +123,7 @@ impl TmkPlatform {
             lock_vc: FxMap::default(),
             activity: FxMap::default(),
             profiling: false,
+            trace: None,
         }
     }
 
@@ -161,6 +164,7 @@ impl TmkPlatform {
     /// from each distinct writer (one round trip per writer!), apply.
     fn fetch_page(&mut self, t: &mut Timing, page: u64) {
         let pid = t.pid;
+        let t0 = *t.now;
         // State first: compute the fresh contents and remember how much of
         // the chain we now reflect.
         let contents = self.current_contents(page);
@@ -194,12 +198,25 @@ impl TmkPlatform {
             .entry(page)
             .or_default()
             .record_fetch(pid, wire, profiling, wpp);
+        // No home in this protocol: report the round-robin base-copy source
+        // the full-page transfer would come from.
+        let src = (page % self.cfg.nprocs as u64) as usize;
+        sim_core::trace::emit(
+            &self.trace,
+            t.timing_on,
+            pid,
+            t0,
+            sim_core::EventKind::PageFetchStart {
+                page: page << self.page_shift,
+                home: src,
+                bytes: wire,
+            },
+        );
         if t.timing_on {
             let ctrl = self.cfg.ctrl_msg_bytes * self.cfg.io_cyc_per_byte;
             let mut done = *t.now;
             if !had_copy {
                 // Full page transfer from one node (round robin choice).
-                let src = (page % self.cfg.nprocs as u64) as usize;
                 let (_, req_out) = self.nodes[pid].io_out.serve(*t.now, ctrl);
                 let arr = req_out + self.cfg.wire_latency;
                 let (_, svc) = self.nodes[src].handler.serve(arr, self.cfg.handler_cost);
@@ -236,6 +253,18 @@ impl TmkPlatform {
             }
             t.advance_to(Bucket::DataWait, done);
         }
+        sim_core::trace::emit(
+            &self.trace,
+            t.timing_on,
+            pid,
+            *t.now,
+            sim_core::EventKind::PageFetchDone {
+                page: page << self.page_shift,
+                home: src,
+                bytes: wire,
+            },
+        );
+        sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, *t.now - t0);
         self.nodes[pid]
             .pages
             .insert(page, PageEntry::copy_of(&contents));
@@ -333,6 +362,21 @@ impl TmkPlatform {
             // application — there is no home copy to patch — so the two
             // counters stay structurally equal.
             t.stats.counters.diffs_applied += 1;
+            let pbase = page << self.page_shift;
+            sim_core::trace::emit(
+                &self.trace,
+                t.timing_on,
+                pid,
+                *t.now,
+                sim_core::EventKind::DiffCreated { page: pbase },
+            );
+            sim_core::trace::emit(
+                &self.trace,
+                t.timing_on,
+                pid,
+                *t.now,
+                sim_core::EventKind::DiffApplied { page: pbase },
+            );
             let (profiling, wpp) = (self.profiling, self.cfg.words_per_page() as usize);
             // Wire cost 0: the chain is kept at the writer; bytes move at
             // the faulting reader's gather, accounted in `fetch_page`.
@@ -355,7 +399,7 @@ impl TmkPlatform {
     }
 
     /// Invalidate a page at `g` on receipt of a write notice.
-    fn invalidate_page(&mut self, g: usize, page: u64, timing_on: bool, acc: &mut Acc) {
+    fn invalidate_page(&mut self, g: usize, page: u64, at: u64, timing_on: bool, acc: &mut Acc) {
         let state = self.nodes[g].pages.get(&page).map(|e| e.state);
         match state {
             None => return,
@@ -376,10 +420,34 @@ impl TmkPlatform {
                     .record_diff(g, &diff, 0, profiling, wpp);
                 let log = self.log_entry(page);
                 log.chain.push(ArchivedDiff { writer: g, diff });
+                let pbase = page << self.page_shift;
+                sim_core::trace::emit(
+                    &self.trace,
+                    timing_on,
+                    g,
+                    at,
+                    sim_core::EventKind::DiffCreated { page: pbase },
+                );
+                sim_core::trace::emit(
+                    &self.trace,
+                    timing_on,
+                    g,
+                    at,
+                    sim_core::EventKind::DiffApplied { page: pbase },
+                );
             }
             Some(PState::ReadOnly) => {}
         }
         self.activity.entry(page).or_default().record_inval();
+        sim_core::trace::emit(
+            &self.trace,
+            timing_on,
+            g,
+            at,
+            sim_core::EventKind::Invalidation {
+                page: page << self.page_shift,
+            },
+        );
         self.nodes[g].pages.remove(&page);
         self.nodes[g].applied.remove(&page);
         let base = page << self.page_shift;
@@ -390,7 +458,7 @@ impl TmkPlatform {
         acc.invals += 1;
     }
 
-    fn consume_notices(&mut self, g: usize, upto: &[u32], timing_on: bool) -> Acc {
+    fn consume_notices(&mut self, g: usize, upto: &[u32], at: u64, timing_on: bool) -> Acc {
         let mut acc = Acc::default();
         for r in 0..self.cfg.nprocs {
             if r == g {
@@ -406,7 +474,7 @@ impl TmkPlatform {
                 let li = (idx - self.log_base[r]) as usize;
                 let pages: Vec<u64> = self.intervals[r][li].pages.clone();
                 for page in pages {
-                    self.invalidate_page(g, page, timing_on, &mut acc);
+                    self.invalidate_page(g, page, at, timing_on, &mut acc);
                 }
             }
             self.vc[g][r] = to;
@@ -624,7 +692,7 @@ impl Platform for TmkPlatform {
             Some(v) => v.clone(),
             None => vec![0; self.cfg.nprocs],
         };
-        let acc = self.consume_notices(pid, &upto, timing_on);
+        let acc = self.consume_notices(pid, &upto, grant_at, timing_on);
         stats.counters.invalidations += acc.invals;
         stats.counters.diffs_created += acc.archived;
         stats.counters.diffs_applied += acc.archived;
@@ -679,7 +747,7 @@ impl Platform for TmkPlatform {
         let mut send_cursor = merge_end;
         let mut mgr_acc = Acc::default();
         for q in 0..n {
-            let acc = self.consume_notices(q, &vt, timing_on);
+            let acc = self.consume_notices(q, &vt, merge_end, timing_on);
             stats[q].counters.invalidations += acc.invals;
             stats[q].counters.diffs_created += acc.archived;
             stats[q].counters.diffs_applied += acc.archived;
@@ -750,6 +818,10 @@ impl Platform for TmkPlatform {
 
     fn set_sharing_profile(&mut self, on: bool) {
         self.profiling = on;
+    }
+
+    fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
+        self.trace = trace;
     }
 
     fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {

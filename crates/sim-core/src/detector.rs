@@ -347,6 +347,148 @@ impl RaceDetector {
         }
     }
 
+    // ---- batched (run) checks for the bulk fast path ----
+    //
+    // The bulk access path performs whole L1-line runs under one scheduler
+    // lock acquisition; feeding the detector one `on_read`/`on_write` call
+    // per word made the detector the dominant cost of detector-on bulk
+    // runs. The run variants below check an entire `base + i*stride`,
+    // `i in 0..count` batch in one call: the shadow map is grown once for
+    // the whole span, the accessor's epoch and clock are read once (data
+    // accesses never advance the detector's clocks, so they are loop
+    // constants), words this processor already owns in the current epoch
+    // are skipped, and the rare race hits are recorded after the scan.
+    //
+    // Both must stay *observably identical* to the per-word path — same
+    // shadow state, same reports in the same order, same counts —
+    // `tests/equivalence.rs` sweeps detector-on runs on the scalar and bulk
+    // paths and asserts bit-identical `RunStats` including race reports.
+
+    /// Batched equivalent of calling [`RaceDetector::on_write`] once per
+    /// access at `base + i*stride` for `i in 0..count`, in order.
+    pub fn on_write_run(
+        &mut self,
+        pid: usize,
+        base: Addr,
+        stride: u64,
+        len: u8,
+        count: usize,
+        alloc: &GlobalAlloc,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let (_, span_last) = Self::word_span(base + (count as u64 - 1) * stride, len);
+        if span_last as usize >= self.shadow.len() {
+            let want = (span_last as usize + 1).next_power_of_two();
+            self.shadow.resize(want, Shadow::FRESH);
+        }
+        let me = self.epoch_of(pid);
+        // (word, kind, prior_pid) hits, recorded after the scan; `record`
+        // only touches the report side, so deferring it cannot change what
+        // later words observe.
+        let mut hits: Vec<(u64, RaceKind, usize)> = Vec::new();
+        {
+            let c = &self.clocks[pid];
+            let nprocs = self.nprocs;
+            for i in 0..count {
+                let (first, last) = Self::word_span(base + i as u64 * stride, len);
+                for w in first..=last {
+                    let sh = &mut self.shadow[w as usize];
+                    // Same-epoch skip: the word is already in exactly the
+                    // post-write state (owned by `me`, read state clear), so
+                    // the per-word path would be a no-op.
+                    if sh.write == me && matches!(&sh.read, ReadSt::One(e) if *e == Epoch::NONE) {
+                        continue;
+                    }
+                    if !sh.write.before(c) {
+                        let prior = sh.write.pid as usize;
+                        sh.write = me;
+                        sh.read = ReadSt::One(Epoch::NONE);
+                        hits.push((w, RaceKind::WriteWrite, prior));
+                        continue;
+                    }
+                    let racer = match &sh.read {
+                        ReadSt::One(e) => (!e.before(c)).then_some(e.pid as usize),
+                        ReadSt::Many(v) => (0..nprocs).find(|&q| v.get(q) > c.get(q)),
+                    };
+                    sh.write = me;
+                    sh.read = ReadSt::One(Epoch::NONE);
+                    if let Some(prior) = racer {
+                        hits.push((w, RaceKind::ReadWrite, prior));
+                    }
+                }
+            }
+        }
+        for (w, kind, prior) in hits {
+            self.record(w, kind, prior, pid, alloc);
+        }
+    }
+
+    /// Batched equivalent of calling [`RaceDetector::on_read`] once per
+    /// access at `base + i*stride` for `i in 0..count`, in order.
+    pub fn on_read_run(
+        &mut self,
+        pid: usize,
+        base: Addr,
+        stride: u64,
+        len: u8,
+        count: usize,
+        alloc: &GlobalAlloc,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let (_, span_last) = Self::word_span(base + (count as u64 - 1) * stride, len);
+        if span_last as usize >= self.shadow.len() {
+            let want = (span_last as usize + 1).next_power_of_two();
+            self.shadow.resize(want, Shadow::FRESH);
+        }
+        let me = self.epoch_of(pid);
+        let mut hits: Vec<(u64, usize)> = Vec::new();
+        {
+            let c = &self.clocks[pid];
+            let nprocs = self.nprocs;
+            for i in 0..count {
+                let (first, last) = Self::word_span(base + i as u64 * stride, len);
+                for w in first..=last {
+                    let sh = &mut self.shadow[w as usize];
+                    // Same-epoch skip: this processor is already the word's
+                    // recorded reader in the current epoch. Any intervening
+                    // write would have cleared the read state, so the write
+                    // epoch is unchanged since the earlier (already checked,
+                    // already reported-if-racy) read — a no-op on the
+                    // per-word path too.
+                    if matches!(&sh.read, ReadSt::One(e) if *e == me) {
+                        continue;
+                    }
+                    let racy = (!sh.write.before(c)).then_some(sh.write.pid as usize);
+                    match &mut sh.read {
+                        ReadSt::One(e) => {
+                            if e.pid as usize == pid || e.before(c) {
+                                *e = me;
+                            } else {
+                                let mut v = VectorClock::new(nprocs);
+                                v.0[e.pid as usize] = e.clk;
+                                v.0[pid] = me.clk;
+                                sh.read = ReadSt::Many(Box::new(v));
+                            }
+                        }
+                        ReadSt::Many(v) => {
+                            v.0[pid] = me.clk;
+                        }
+                    }
+                    if let Some(prior) = racy {
+                        hits.push((w, prior));
+                    }
+                }
+            }
+        }
+        for (w, prior) in hits {
+            self.record(w, RaceKind::WriteRead, prior, pid, alloc);
+        }
+    }
+
     /// Lock `id` granted to `pid`: join the last releaser's clock.
     pub fn on_acquire(&mut self, pid: usize, id: u32) {
         if let Some(rel) = self.lock_rel.get(&id) {
@@ -496,6 +638,64 @@ mod tests {
         }
         assert_eq!(d.race_count(), MAX_REPORTS as u64 + 50);
         assert_eq!(d.into_reports().len(), MAX_REPORTS);
+    }
+
+    #[test]
+    fn run_batched_checks_match_per_word_oracle() {
+        // Randomized access streams (reads/writes/sync, mixed strides and
+        // widths, deliberately racy) fed to two detectors: one through the
+        // per-word path, one through the batched run path. Reports, counts,
+        // and subsequent behaviour must be identical.
+        let mut a = GlobalAlloc::new(4);
+        let base = a.alloc_labeled("arena", 256 * 1024, 8, Placement::RoundRobin, 0);
+        for seed in 1..6u64 {
+            let mut rng = crate::util::XorShift64::new(seed);
+            let mut scalar = RaceDetector::new(4, "oracle".into());
+            let mut batched = RaceDetector::new(4, "oracle".into());
+            for _ in 0..400 {
+                let pid = rng.below(4) as usize;
+                match rng.below(10) {
+                    0 => {
+                        let id = rng.below(3) as u32;
+                        scalar.on_acquire(pid, id);
+                        batched.on_acquire(pid, id);
+                    }
+                    1 => {
+                        let id = rng.below(3) as u32;
+                        scalar.on_release(pid, id);
+                        batched.on_release(pid, id);
+                    }
+                    2 => {
+                        scalar.on_barrier();
+                        batched.on_barrier();
+                    }
+                    k => {
+                        let len: u8 = if rng.below(2) == 0 { 4 } else { 8 };
+                        let stride = match rng.below(3) {
+                            0 => len as u64,     // contiguous
+                            1 => len as u64 * 4, // strided
+                            _ => len as u64 - 2, // overlapping word spans
+                        };
+                        let count = 1 + rng.below(40) as usize;
+                        let addr = base + rng.below(1024) * 8;
+                        if k % 2 == 0 {
+                            for i in 0..count {
+                                scalar.on_write(pid, addr + i as u64 * stride, len, &a);
+                            }
+                            batched.on_write_run(pid, addr, stride, len, count, &a);
+                        } else {
+                            for i in 0..count {
+                                scalar.on_read(pid, addr + i as u64 * stride, len, &a);
+                            }
+                            batched.on_read_run(pid, addr, stride, len, count, &a);
+                        }
+                    }
+                }
+                assert_eq!(scalar.race_count(), batched.race_count(), "seed {seed}");
+            }
+            assert_eq!(scalar.reports, batched.reports, "seed {seed}");
+            assert!(scalar.race_count() > 0, "seed {seed} exercised no races");
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod resource;
 pub mod sched;
 pub mod sharing;
 pub mod stats;
+pub mod trace;
 pub mod util;
 pub mod view;
 
@@ -62,4 +63,5 @@ pub use resource::Resource;
 pub use sched::{run, run_profiled, Proc, RunConfig};
 pub use sharing::{LabelSharing, PageSharing, SharingClass, SharingProfile};
 pub use stats::{Bucket, Counter, ProcStats, RunStats, MAX_PHASES};
+pub use trace::{Event, EventKind, ProcTrace, RunTrace, TraceHandle, TraceSink, WaitHist};
 pub use view::{GArr, Grid2, Grid4, Word};

@@ -194,6 +194,15 @@ pub trait Platform: Send {
     /// statistics stay bit-identical either way.
     fn set_sharing_profile(&mut self, _on: bool) {}
 
+    /// Install (or remove, with `None`) the shared event-trace sink for the
+    /// run. Called once before any simulated processor starts (and once
+    /// with `None` at the end of the run, so the scheduler regains sole
+    /// ownership of the sink). Platforms emit protocol events —
+    /// page fetches, diffs, invalidations, remote misses — through the
+    /// handle via [`crate::trace::emit`]; emission must never charge
+    /// cycles: statistics stay bit-identical either way.
+    fn set_trace(&mut self, _trace: Option<crate::trace::TraceHandle>) {}
+
     /// The per-page sharing profile gathered since the last
     /// [`Platform::reset_timing`], if this platform produces one. Labels are
     /// attributed by the scheduler (the platform does not see the allocator).

@@ -53,6 +53,17 @@ pub struct RunConfig {
     /// [`RunStats::sharing`]. Off by default; timing statistics are
     /// bit-identical either way.
     pub sharing_profile: bool,
+    /// Record a virtual-time event trace ([`crate::trace`]) of the timed
+    /// region, attached as [`RunStats::trace`]. Off by default; timing
+    /// statistics are bit-identical either way.
+    pub trace: bool,
+    /// Per-processor event-buffer capacity for the trace (events past the
+    /// cap are counted as dropped, never reallocating).
+    pub trace_cap: usize,
+    /// Application phase names for figures and traces ("tree-build" instead
+    /// of "phase 3"); indexed by phase id, may be shorter than the number of
+    /// phases used.
+    pub phase_names: Vec<String>,
 }
 
 impl RunConfig {
@@ -65,6 +76,9 @@ impl RunConfig {
             label: String::new(),
             bulk: true,
             sharing_profile: false,
+            trace: false,
+            trace_cap: crate::trace::DEFAULT_EVENT_CAP,
+            phase_names: Vec::new(),
         }
     }
 
@@ -86,6 +100,25 @@ impl RunConfig {
     /// [`crate::sharing`]).
     pub fn with_sharing_profile(mut self) -> Self {
         self.sharing_profile = true;
+        self
+    }
+
+    /// Record a virtual-time event trace for this run (see [`crate::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Override the per-processor trace event-buffer capacity.
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap.max(1);
+        self
+    }
+
+    /// Register application phase names (indexed by phase id) so figures
+    /// and traces print "tree-build" instead of "phase 3".
+    pub fn with_phase_names<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.phase_names = names.into_iter().map(Into::into).collect();
         self
     }
 
@@ -140,6 +173,9 @@ struct Inner {
     /// Present iff `RunConfig::detect_races`: the happens-before analysis
     /// fed by every load/store and synchronization event below.
     detector: Option<RaceDetector>,
+    /// Present iff `RunConfig::trace`: the event sink shared with the
+    /// platform (which holds a clone of the handle for protocol events).
+    trace: Option<crate::trace::TraceHandle>,
 }
 
 struct Shared {
@@ -178,6 +214,38 @@ impl Inner {
         match self.min_ready() {
             Some((_, clk)) => clk.saturating_add(self.quantum),
             None => u64::MAX,
+        }
+    }
+
+    /// Emit a trace event for `pid` at virtual time `ts`. No-op unless the
+    /// run is traced *and* the timed region is active; never touches clocks
+    /// or statistics (tracing is invisible).
+    #[inline]
+    fn emit(&self, pid: usize, ts: u64, kind: crate::trace::EventKind) {
+        if self.timing_on {
+            if let Some(h) = &self.trace {
+                h.lock().unwrap().push(pid, ts, kind);
+            }
+        }
+    }
+
+    /// Record a lock-acquire wait sample for `pid` (same gating as `emit`).
+    #[inline]
+    fn sample_lock(&self, pid: usize, cycles: u64) {
+        if self.timing_on {
+            if let Some(h) = &self.trace {
+                h.lock().unwrap().sample_lock(pid, cycles);
+            }
+        }
+    }
+
+    /// Record a barrier-wait sample for `pid` (same gating as `emit`).
+    #[inline]
+    fn sample_barrier(&self, pid: usize, cycles: u64) {
+        if self.timing_on {
+            if let Some(h) = &self.trace {
+                h.lock().unwrap().sample_barrier(pid, cycles);
+            }
         }
     }
 
@@ -248,8 +316,15 @@ impl Proc {
     pub fn set_phase(&mut self, phase: usize) {
         let mut g = self.shared.lock();
         let pid = self.pid;
-        if g.stats[pid].phase() != phase {
+        let old = g.stats[pid].phase();
+        if old != phase {
             g.stats[pid].set_phase(phase);
+            let new = g.stats[pid].phase(); // saturated when out of range
+            if new != old {
+                let ts = g.clocks[pid];
+                g.emit(pid, ts, crate::trace::EventKind::PhaseEnd { phase: old });
+                g.emit(pid, ts, crate::trace::EventKind::PhaseBegin { phase: new });
+            }
         }
     }
 
@@ -376,9 +451,7 @@ impl Proc {
             };
             debug_assert!(k >= 1, "load_bulk must perform at least one word");
             if let Some(d) = inner.detector.as_mut() {
-                for i in 0..k {
-                    d.on_read(self.pid, base + i as u64 * stride, len, &inner.alloc);
-                }
+                d.on_read_run(self.pid, base, stride, len, k, &inner.alloc);
             }
             done += k;
             self.maybe_yield(g);
@@ -413,9 +486,7 @@ impl Proc {
             };
             debug_assert!(k >= 1, "store_bulk must perform at least one word");
             if let Some(d) = inner.detector.as_mut() {
-                for i in 0..k {
-                    d.on_write(self.pid, base + i as u64 * stride, len, &inner.alloc);
-                }
+                d.on_write_run(self.pid, base, stride, len, k, &inner.alloc);
             }
             done += k;
             self.maybe_yield(g);
@@ -535,6 +606,11 @@ impl Proc {
         let pid = self.pid;
         let inner = &mut *g;
         inner.stats[pid].counters.lock_acquires += 1;
+        inner.emit(
+            pid,
+            inner.clocks[pid],
+            crate::trace::EventKind::LockAcquireStart { lock: id as u64 },
+        );
         let arrival = {
             let mut t = Timing {
                 pid,
@@ -558,11 +634,19 @@ impl Proc {
                 inner.alloc.map(),
                 timing_on,
             );
+            let mut waited = 0;
             if inner.timing_on && resume > inner.clocks[pid] {
                 let d = resume - inner.clocks[pid];
                 inner.stats[pid].add(Bucket::LockWait, d);
                 inner.clocks[pid] = resume;
+                waited = d;
             }
+            inner.emit(
+                pid,
+                inner.clocks[pid],
+                crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
+            );
+            inner.sample_lock(pid, waited);
             if let Some(det) = inner.detector.as_mut() {
                 det.on_acquire(pid, id);
             }
@@ -589,6 +673,11 @@ impl Proc {
             };
             inner.platform.release(&mut t, id)
         };
+        inner.emit(
+            pid,
+            inner.clocks[pid],
+            crate::trace::EventKind::LockRelease { lock: id as u64 },
+        );
         if let Some(det) = inner.detector.as_mut() {
             det.on_release(pid, id);
         }
@@ -624,6 +713,12 @@ impl Proc {
             if inner.timing_on {
                 let waited = resume - inner.blocked_at[w.pid];
                 inner.stats[w.pid].add(Bucket::LockWait, waited);
+                inner.emit(
+                    w.pid,
+                    resume,
+                    crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
+                );
+                inner.sample_lock(w.pid, waited);
             }
             inner.clocks[w.pid] = resume;
             inner.status[w.pid] = Status::Ready;
@@ -652,6 +747,11 @@ impl Proc {
             inner.platform.barrier_arrive(&mut t, id)
         };
         inner.blocked_at[pid] = inner.clocks[pid];
+        inner.emit(
+            pid,
+            inner.clocks[pid],
+            crate::trace::EventKind::BarrierEnter { barrier: id as u64 },
+        );
         let bar = inner.barriers.entry(id).or_default();
         bar.arrivals.push((pid, t_arr));
         if bar.arrivals.len() == nprocs {
@@ -674,6 +774,12 @@ impl Proc {
                 if inner.timing_on {
                     let waited = resume - inner.blocked_at[q];
                     inner.stats[q].add(Bucket::BarrierWait, waited);
+                    inner.emit(
+                        q,
+                        resume,
+                        crate::trace::EventKind::BarrierExit { barrier: id as u64 },
+                    );
+                    inner.sample_barrier(q, waited);
                 }
                 inner.clocks[q] = resume;
                 if q != pid {
@@ -710,6 +816,15 @@ impl Proc {
                     g.status[q] = Status::Ready;
                 }
             }
+            // Restart the trace so it covers exactly the timed region, and
+            // open each processor's current phase at virtual time zero.
+            if let Some(h) = &g.trace {
+                h.lock().unwrap().reset();
+                for q in 0..nprocs {
+                    let phase = g.stats[q].phase();
+                    g.emit(q, 0, crate::trace::EventKind::PhaseBegin { phase });
+                }
+            }
             if let Some(det) = g.detector.as_mut() {
                 det.on_barrier();
             }
@@ -738,6 +853,10 @@ impl Proc {
                     let d = max - g.clocks[q];
                     g.clocks[q] = max;
                     g.stats[q].add(Bucket::BarrierWait, d);
+                    // Close each processor's open phase at the settle point
+                    // so phase spans cover the whole timed region.
+                    let phase = g.stats[q].phase();
+                    g.emit(q, max, crate::trace::EventKind::PhaseEnd { phase });
                 }
                 if q != pid && g.status[q] == Status::Blocked {
                     g.status[q] = Status::Ready;
@@ -884,6 +1003,13 @@ where
     assert!(nprocs >= 1);
     let mut platform = platform;
     platform.set_sharing_profile(cfg.sharing_profile);
+    let trace_handle = cfg.trace.then(|| {
+        Arc::new(Mutex::new(crate::trace::TraceSink::new(
+            nprocs,
+            cfg.trace_cap,
+        )))
+    });
+    platform.set_trace(trace_handle.clone());
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
             platform,
@@ -907,6 +1033,7 @@ where
             detector: cfg
                 .detect_races
                 .then(|| RaceDetector::new(nprocs, cfg.label.clone())),
+            trace: trace_handle,
         }),
         cvs: (0..nprocs).map(|_| Condvar::new()).collect(),
     });
@@ -993,12 +1120,25 @@ where
         .detector
         .map(RaceDetector::into_reports)
         .unwrap_or_default();
+    // Drop the platform's clone of the trace handle so the sink can be
+    // unwrapped and frozen into the RunStats.
+    inner.platform.set_trace(None);
+    let trace = inner.trace.take().map(|h| {
+        let Ok(sink) = Arc::try_unwrap(h) else {
+            panic!("platform released its trace handle")
+        };
+        sink.into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_trace(cfg.label.clone(), cfg.phase_names.clone(), &inner.clocks)
+    });
     (
         RunStats {
             procs: inner.stats,
             clocks: inner.clocks,
             races,
             sharing,
+            trace,
+            phase_names: cfg.phase_names,
         },
         profile,
     )

@@ -99,6 +99,7 @@ pub struct ProcStats {
     buckets: [u64; 6],
     per_phase: [[u64; 6]; MAX_PHASES],
     phase: usize,
+    phase_overflows: u64,
     /// Protocol/communication event counters.
     pub counters: Counter,
 }
@@ -109,6 +110,7 @@ impl Default for ProcStats {
             buckets: [0; 6],
             per_phase: [[0; 6]; MAX_PHASES],
             phase: 0,
+            phase_overflows: 0,
             counters: Counter::default(),
         }
     }
@@ -122,16 +124,31 @@ impl ProcStats {
         self.per_phase[self.phase][bucket as usize] += cycles;
     }
 
-    /// Set the current application phase (0..MAX_PHASES).
+    /// Set the current application phase. Phases at or beyond
+    /// [`MAX_PHASES`] saturate into the last ("overflow") phase and bump
+    /// [`ProcStats::phase_overflows`] instead of aborting the run — this is
+    /// reachable from application code via `Proc::set_phase`, and a bad
+    /// phase index should mislabel accounting, not kill a simulation.
     #[inline]
     pub fn set_phase(&mut self, phase: usize) {
-        assert!(phase < MAX_PHASES, "phase out of range");
-        self.phase = phase;
+        if phase >= MAX_PHASES {
+            self.phase_overflows += 1;
+            self.phase = MAX_PHASES - 1;
+        } else {
+            self.phase = phase;
+        }
     }
 
     /// Current phase index.
     pub fn phase(&self) -> usize {
         self.phase
+    }
+
+    /// Number of `set_phase` calls that saturated because the requested
+    /// phase was `>= MAX_PHASES` (their time is accounted to the last
+    /// phase).
+    pub fn phase_overflows(&self) -> u64 {
+        self.phase_overflows
     }
 
     /// Cycles recorded in `bucket`.
@@ -182,6 +199,16 @@ pub struct RunStats {
     /// the off path bit-identical to builds without the profiler). Empty on
     /// platforms that are not page-based. See [`crate::sharing`].
     pub sharing: Option<crate::sharing::SharingProfile>,
+    /// Virtual-time event trace with per-proc wait-latency histograms, when
+    /// the run was configured with [`crate::RunConfig::with_trace`] (`None`
+    /// otherwise; traced runs are bit-identical apart from this field). See
+    /// [`crate::trace`].
+    pub trace: Option<crate::trace::RunTrace>,
+    /// Application-registered phase names
+    /// ([`crate::RunConfig::with_phase_names`]); empty when the app
+    /// registered none. Present on traced and untraced runs alike so figure
+    /// harnesses can label per-phase breakdowns.
+    pub phase_names: Vec<String>,
 }
 
 impl RunStats {
@@ -222,6 +249,15 @@ impl RunStats {
             c.add(&p.counters);
         }
         c
+    }
+
+    /// Human name for phase `i`: the app-registered name when present
+    /// ("tree-build"), otherwise "phase i".
+    pub fn phase_name(&self, i: usize) -> String {
+        self.phase_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("phase {i}"))
     }
 
     /// Fraction of total (summed-over-processors) time spent in `phase`.
@@ -288,6 +324,8 @@ mod tests {
             clocks: vec![50, 70],
             races: Vec::new(),
             sharing: None,
+            trace: None,
+            phase_names: Vec::new(),
         };
         assert_eq!(rs.total_cycles(), 70);
         assert_eq!(rs.sum(Bucket::Compute), 50);
@@ -295,9 +333,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn phase_out_of_range_panics() {
+    fn phase_out_of_range_saturates() {
         let mut s = ProcStats::default();
         s.set_phase(MAX_PHASES);
+        assert_eq!(s.phase(), MAX_PHASES - 1);
+        assert_eq!(s.phase_overflows(), 1);
+        s.set_phase(MAX_PHASES + 100);
+        assert_eq!(s.phase(), MAX_PHASES - 1);
+        assert_eq!(s.phase_overflows(), 2);
+        // Time keeps accumulating (in the overflow phase) instead of the
+        // run aborting.
+        s.add(Bucket::Compute, 5);
+        assert_eq!(s.get_phase(MAX_PHASES - 1, Bucket::Compute), 5);
+        // A valid phase still works afterwards.
+        s.set_phase(1);
+        assert_eq!(s.phase(), 1);
+        assert_eq!(s.phase_overflows(), 2);
     }
 }

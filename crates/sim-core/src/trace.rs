@@ -1,0 +1,890 @@
+//! Virtual-time protocol event tracing.
+//!
+//! When a run is configured with [`crate::RunConfig::with_trace`], every
+//! simulated processor records virtual-time-stamped [`Event`]s into a
+//! bounded per-proc buffer: phase transitions, lock and barrier episodes,
+//! page fetches, diff creation/application, invalidations and remote
+//! misses. The scheduler emits the synchronization events from its central
+//! hooks; the platform crates emit the protocol events from their pricing
+//! paths. All timestamps are virtual cycles — no host clocks — so traces
+//! are bit-identical across repeated runs.
+//!
+//! Tracing is **off by default** and **invisible**: a traced run produces a
+//! `RunStats` identical to the untraced run apart from the
+//! [`crate::RunStats::trace`] field (asserted in `tests/trace.rs`). Buffers
+//! are sized once up front and never grow; events past the cap are counted
+//! in [`ProcTrace::dropped`] rather than reallocating unbounded. The
+//! wait-latency histograms are fixed-size and always complete, even when
+//! the event buffer overflows.
+//!
+//! The finished trace ([`RunTrace`]) renders as Chrome/Perfetto
+//! `trace_event` JSON ([`RunTrace::to_chrome_json`] — load in
+//! <https://ui.perfetto.dev> or `chrome://tracing`) or as an ASCII timeline
+//! for terminals ([`RunTrace::ascii_timeline`]).
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Default per-processor event-buffer capacity (events beyond this are
+/// counted, not stored). Override with [`crate::RunConfig::with_trace_cap`].
+pub const DEFAULT_EVENT_CAP: usize = 1 << 16;
+
+/// Number of log2 latency buckets (bucket `i` holds waits with bit-length
+/// `i`, i.e. `2^(i-1) <= wait < 2^i`; bucket 0 holds zero-cycle waits).
+pub const HIST_BUCKETS: usize = 40;
+
+/// A traced protocol or synchronization event. Addresses (`page`, `line`)
+/// are byte base addresses in the simulated address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The processor entered application phase `phase`.
+    PhaseBegin { phase: usize },
+    /// The processor left application phase `phase`.
+    PhaseEnd { phase: usize },
+    /// Lock acquire requested (queueing may follow).
+    LockAcquireStart { lock: u64 },
+    /// Lock acquire granted; the wait since `LockAcquireStart` is also
+    /// recorded in the lock-wait histogram.
+    LockAcquireGranted { lock: u64 },
+    /// Lock released.
+    LockRelease { lock: u64 },
+    /// Arrived at a barrier.
+    BarrierEnter { barrier: u64 },
+    /// Released from a barrier.
+    BarrierExit { barrier: u64 },
+    /// Remote page fetch initiated (SVM platforms).
+    PageFetchStart { page: u64, home: usize, bytes: u64 },
+    /// Remote page fetch complete; latency also recorded in the fetch-wait
+    /// histogram.
+    PageFetchDone { page: u64, home: usize, bytes: u64 },
+    /// A diff was computed for `page` (SVM platforms).
+    DiffCreated { page: u64 },
+    /// A diff was applied for `page` (at the HLRC home, or archived at the
+    /// writer under TreadMarks-LRC).
+    DiffApplied { page: u64 },
+    /// A write notice invalidated the local copy of `page`.
+    Invalidation { page: u64 },
+    /// A hardware coherence miss serviced remotely (directory CC-NUMA) or
+    /// cache-to-cache over the bus (SMP).
+    RemoteMiss { line: u64, home: usize },
+}
+
+/// One trace record: virtual timestamp, global sequence number (total order
+/// across processors for same-timestamp events), and the event itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time (cycles since `start_timing`) at which the event fired.
+    pub ts: u64,
+    /// Global emission sequence number (deterministic tie-breaker).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Log2-bucketed wait-latency histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitHist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for WaitHist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl WaitHist {
+    /// Record one wait of `cycles` (zero-cycle waits land in bucket 0).
+    #[inline]
+    pub fn record(&mut self, cycles: u64) {
+        let idx = (64 - cycles.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += cycles;
+        self.max = self.max.max(cycles);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded waits, in cycles.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded wait, in cycles.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean wait in cycles (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples in log2 bucket `i` (see [`HIST_BUCKETS`]).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Upper bound (exclusive) of bucket `i` in cycles: `2^i` (bucket 0 is
+    /// exactly zero).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i.min(63)
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the first bucket at which
+    /// the cumulative count reaches `q * count`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target.max(1) {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &WaitHist) {
+        for i in 0..HIST_BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line summary, e.g. `n=12 mean=4032 p50~4096 max=8122`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.0} p50~{} p90~{} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.max
+        )
+    }
+
+    /// Render the non-empty buckets as `2^k:count` pairs.
+    pub fn dist_line(&self) -> String {
+        let mut s = String::new();
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                if i == 0 {
+                    let _ = write!(s, "0:{b}");
+                } else {
+                    let _ = write!(s, "<2^{i}:{b}");
+                }
+            }
+        }
+        if s.is_empty() {
+            s.push_str("(empty)");
+        }
+        s
+    }
+}
+
+/// Shared, mutable trace state while a run is in flight. One instance per
+/// traced run, shared between the scheduler and the platform via
+/// [`TraceHandle`]; the mutex is uncontended (everything already runs under
+/// the global scheduler lock) and exists only to keep the handle `Send`.
+#[derive(Debug)]
+pub struct TraceSink {
+    cap: usize,
+    seq: u64,
+    procs: Vec<SinkProc>,
+}
+
+#[derive(Debug)]
+struct SinkProc {
+    events: Vec<Event>,
+    dropped: u64,
+    fetch: WaitHist,
+    lock: WaitHist,
+    barrier: WaitHist,
+}
+
+/// Handle through which the scheduler and platforms append events.
+pub type TraceHandle = Arc<Mutex<TraceSink>>;
+
+impl TraceSink {
+    /// Create a sink for `nprocs` processors with a per-proc event cap of
+    /// `cap` (buffers are allocated once, up front).
+    pub fn new(nprocs: usize, cap: usize) -> Self {
+        Self {
+            cap,
+            seq: 0,
+            procs: (0..nprocs)
+                .map(|_| SinkProc {
+                    events: Vec::with_capacity(cap),
+                    dropped: 0,
+                    fetch: WaitHist::default(),
+                    lock: WaitHist::default(),
+                    barrier: WaitHist::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Append an event to `pid`'s buffer (counted as dropped past the cap;
+    /// the buffer never reallocates).
+    #[inline]
+    pub fn push(&mut self, pid: usize, ts: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        let p = &mut self.procs[pid];
+        if p.events.len() < self.cap {
+            p.events.push(Event { ts, seq, kind });
+        } else {
+            p.dropped += 1;
+        }
+    }
+
+    /// Record a page-fetch / remote-miss service latency for `pid`.
+    #[inline]
+    pub fn sample_fetch(&mut self, pid: usize, cycles: u64) {
+        self.procs[pid].fetch.record(cycles);
+    }
+
+    /// Record a lock-acquire wait for `pid`.
+    #[inline]
+    pub fn sample_lock(&mut self, pid: usize, cycles: u64) {
+        self.procs[pid].lock.record(cycles);
+    }
+
+    /// Record a barrier wait for `pid`.
+    #[inline]
+    pub fn sample_barrier(&mut self, pid: usize, cycles: u64) {
+        self.procs[pid].barrier.record(cycles);
+    }
+
+    /// Clear all buffers and histograms (called at `start_timing` so the
+    /// trace covers exactly the timed region).
+    pub fn reset(&mut self) {
+        self.seq = 0;
+        for p in &mut self.procs {
+            p.events.clear();
+            p.dropped = 0;
+            p.fetch = WaitHist::default();
+            p.lock = WaitHist::default();
+            p.barrier = WaitHist::default();
+        }
+    }
+
+    /// Freeze into a [`RunTrace`]. `clocks` are the final per-proc virtual
+    /// clocks (used to close the per-proc track).
+    pub fn into_trace(self, label: String, phase_names: Vec<String>, clocks: &[u64]) -> RunTrace {
+        RunTrace {
+            label,
+            phase_names,
+            procs: self
+                .procs
+                .into_iter()
+                .enumerate()
+                .map(|(pid, mut p)| {
+                    // Per-proc buffers are appended in emission order, which
+                    // is monotone for a proc's own activity but not for
+                    // events posted to it by others (grants, home-side diff
+                    // application); (ts, seq) sorting restores a
+                    // deterministic timeline.
+                    p.events.sort_by_key(|e| (e.ts, e.seq));
+                    ProcTrace {
+                        end: clocks.get(pid).copied().unwrap_or(0),
+                        events: p.events,
+                        dropped: p.dropped,
+                        fetch_wait: p.fetch,
+                        lock_wait: p.lock,
+                        barrier_wait: p.barrier,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Convenience emitter for platform code: no-op unless tracing is on *and*
+/// the timed region is active (keeping warm-up traffic out of the trace).
+#[inline]
+pub fn emit(tr: &Option<TraceHandle>, timing_on: bool, pid: usize, ts: u64, kind: EventKind) {
+    if timing_on {
+        if let Some(h) = tr {
+            h.lock().unwrap().push(pid, ts, kind);
+        }
+    }
+}
+
+/// Convenience fetch-latency sampler for platform code (same gating as
+/// [`emit`]).
+#[inline]
+pub fn sample_fetch(tr: &Option<TraceHandle>, timing_on: bool, pid: usize, cycles: u64) {
+    if timing_on {
+        if let Some(h) = tr {
+            h.lock().unwrap().sample_fetch(pid, cycles);
+        }
+    }
+}
+
+/// The finished event trace of one simulated processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcTrace {
+    /// Events in (ts, seq) order.
+    pub events: Vec<Event>,
+    /// Events discarded because the buffer cap was reached.
+    pub dropped: u64,
+    /// This processor's final virtual clock (cycles in the timed region).
+    pub end: u64,
+    /// Latency histogram of remote page fetches / remote miss service.
+    pub fetch_wait: WaitHist,
+    /// Latency histogram of lock-acquire waits.
+    pub lock_wait: WaitHist,
+    /// Latency histogram of barrier waits.
+    pub barrier_wait: WaitHist,
+}
+
+/// The finished trace of a run: one [`ProcTrace`] per simulated processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunTrace {
+    /// The run label (from [`crate::RunConfig::named`]).
+    pub label: String,
+    /// Application-registered phase names
+    /// ([`crate::RunConfig::with_phase_names`]); may be shorter than the
+    /// number of phases used.
+    pub phase_names: Vec<String>,
+    /// Per-processor traces, indexed by pid.
+    pub procs: Vec<ProcTrace>,
+}
+
+impl RunTrace {
+    /// Total events captured across all processors.
+    pub fn total_events(&self) -> usize {
+        self.procs.iter().map(|p| p.events.len()).sum()
+    }
+
+    /// Total events dropped (0 unless a buffer hit its cap).
+    pub fn dropped_events(&self) -> u64 {
+        self.procs.iter().map(|p| p.dropped).sum()
+    }
+
+    /// Human name for phase `i` ("phase i" when the app registered none).
+    pub fn phase_name(&self, i: usize) -> String {
+        self.phase_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("phase {i}"))
+    }
+
+    /// End of the run in virtual cycles (max per-proc clock).
+    pub fn end(&self) -> u64 {
+        self.procs.iter().map(|p| p.end).max().unwrap_or(0)
+    }
+
+    /// Merged wait histograms across processors:
+    /// `(fetch, lock, barrier)`.
+    pub fn merged_hists(&self) -> (WaitHist, WaitHist, WaitHist) {
+        let mut f = WaitHist::default();
+        let mut l = WaitHist::default();
+        let mut b = WaitHist::default();
+        for p in &self.procs {
+            f.merge(&p.fetch_wait);
+            l.merge(&p.lock_wait);
+            b.merge(&p.barrier_wait);
+        }
+        (f, l, b)
+    }
+
+    /// Render as Chrome `trace_event` JSON (the format accepted by
+    /// <https://ui.perfetto.dev> and `chrome://tracing`): one track (tid)
+    /// per simulated processor, phases and synchronization waits as
+    /// duration events, protocol events as instants, and lock handoffs as
+    /// flow arrows from the releasing to the granted processor.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.total_events() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push(' ');
+            out.push_str(&ev);
+        };
+
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"name\":\"sim: {}\"}}}}",
+                esc(&self.label)
+            ),
+        );
+        for pid in 0..self.procs.len() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{pid},\
+                     \"args\":{{\"name\":\"proc {pid}\"}}}}"
+                ),
+            );
+        }
+
+        for (pid, p) in self.procs.iter().enumerate() {
+            // Whole-track span for the timed region.
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"timed region\",\"cat\":\"run\",\"ph\":\"X\",\
+                     \"pid\":0,\"tid\":{pid},\"ts\":0,\"dur\":{}}}",
+                    p.end
+                ),
+            );
+            // Match begin/end pairs into duration events; close unmatched
+            // begins at the end of the track.
+            let mut phase_stack: Vec<(usize, u64)> = Vec::new();
+            let mut lock_start: crate::util::FxMap<u64, u64> = crate::util::FxMap::default();
+            let mut barrier_enter: crate::util::FxMap<u64, u64> = crate::util::FxMap::default();
+            for e in &p.events {
+                match e.kind {
+                    EventKind::PhaseBegin { phase } => phase_stack.push((phase, e.ts)),
+                    EventKind::PhaseEnd { phase } => {
+                        if let Some(pos) = phase_stack.iter().rposition(|&(ph, _)| ph == phase) {
+                            let (_, t0) = phase_stack.remove(pos);
+                            push(
+                                &mut out,
+                                &mut first,
+                                self.span(pid, &self.phase_name(phase), "phase", t0, e.ts),
+                            );
+                        }
+                    }
+                    EventKind::LockAcquireStart { lock } => {
+                        lock_start.insert(lock, e.ts);
+                    }
+                    EventKind::LockAcquireGranted { lock } => {
+                        if let Some(t0) = lock_start.remove(&lock) {
+                            push(
+                                &mut out,
+                                &mut first,
+                                self.span(pid, &format!("lock {lock} wait"), "lock", t0, e.ts),
+                            );
+                        }
+                    }
+                    EventKind::BarrierEnter { barrier } => {
+                        barrier_enter.insert(barrier, e.ts);
+                    }
+                    EventKind::BarrierExit { barrier } => {
+                        if let Some(t0) = barrier_enter.remove(&barrier) {
+                            push(
+                                &mut out,
+                                &mut first,
+                                self.span(pid, &format!("barrier {barrier}"), "barrier", t0, e.ts),
+                            );
+                        }
+                    }
+                    EventKind::LockRelease { lock } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(pid, e.ts, &format!("release lock {lock}"), "lock", ""),
+                        );
+                    }
+                    EventKind::PageFetchStart { page, home, bytes } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("fetch {page:#x}"),
+                                "fetch",
+                                &format!(
+                                    "\"page\":\"{page:#x}\",\"home\":{home},\"bytes\":{bytes}"
+                                ),
+                            ),
+                        );
+                    }
+                    EventKind::PageFetchDone { page, home, bytes } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("fetched {page:#x}"),
+                                "fetch",
+                                &format!(
+                                    "\"page\":\"{page:#x}\",\"home\":{home},\"bytes\":{bytes}"
+                                ),
+                            ),
+                        );
+                    }
+                    EventKind::DiffCreated { page } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("diff created {page:#x}"),
+                                "diff",
+                                &format!("\"page\":\"{page:#x}\""),
+                            ),
+                        );
+                    }
+                    EventKind::DiffApplied { page } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("diff applied {page:#x}"),
+                                "diff",
+                                &format!("\"page\":\"{page:#x}\""),
+                            ),
+                        );
+                    }
+                    EventKind::Invalidation { page } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("invalidate {page:#x}"),
+                                "inval",
+                                &format!("\"page\":\"{page:#x}\""),
+                            ),
+                        );
+                    }
+                    EventKind::RemoteMiss { line, home } => {
+                        push(
+                            &mut out,
+                            &mut first,
+                            instant(
+                                pid,
+                                e.ts,
+                                &format!("remote miss {line:#x}"),
+                                "miss",
+                                &format!("\"line\":\"{line:#x}\",\"home\":{home}"),
+                            ),
+                        );
+                    }
+                }
+            }
+            while let Some((phase, t0)) = phase_stack.pop() {
+                push(
+                    &mut out,
+                    &mut first,
+                    self.span(pid, &self.phase_name(phase), "phase", t0, p.end),
+                );
+            }
+        }
+
+        // Lock handoffs as flow arrows: a release followed (in global
+        // virtual-time order) by the next grant of the same lock on any
+        // processor.
+        let mut all: Vec<(usize, &Event)> = Vec::new();
+        for (pid, p) in self.procs.iter().enumerate() {
+            for e in &p.events {
+                all.push((pid, e));
+            }
+        }
+        all.sort_by_key(|(_, e)| (e.ts, e.seq));
+        let mut last_release: crate::util::FxMap<u64, (usize, u64)> = crate::util::FxMap::default();
+        let mut flow_id = 0u64;
+        for (pid, e) in all {
+            match e.kind {
+                EventKind::LockRelease { lock } => {
+                    last_release.insert(lock, (pid, e.ts));
+                }
+                EventKind::LockAcquireGranted { lock } => {
+                    if let Some((rpid, rts)) = last_release.remove(&lock) {
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"name\":\"lock {lock} handoff\",\"cat\":\"handoff\",\
+                                 \"ph\":\"s\",\"id\":{flow_id},\"pid\":0,\"tid\":{rpid},\
+                                 \"ts\":{rts}}}"
+                            ),
+                        );
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"name\":\"lock {lock} handoff\",\"cat\":\"handoff\",\
+                                 \"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"pid\":0,\
+                                 \"tid\":{pid},\"ts\":{}}}",
+                                e.ts
+                            ),
+                        );
+                        flow_id += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+
+    fn span(&self, pid: usize, name: &str, cat: &str, t0: u64, t1: u64) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\"tid\":{pid},\
+             \"ts\":{t0},\"dur\":{}}}",
+            esc(name),
+            t1.saturating_sub(t0)
+        )
+    }
+
+    /// ASCII timeline: one row per processor, `width` columns over the
+    /// timed region. `B` = barrier wait, `L` = lock wait, `F` = page fetch
+    /// in flight, `.` = everything else, `|` = phase transition.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        let width = width.max(16);
+        let total = self.end().max(1);
+        let col =
+            |ts: u64| (((ts as u128 * width as u128) / total as u128) as usize).min(width - 1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline [{}]: {} cycles, {} cols ({} cycles/col)",
+            self.label,
+            total,
+            width,
+            total / width as u64
+        );
+        for (pid, p) in self.procs.iter().enumerate() {
+            let mut row = vec![b'.'; width];
+            let mut rank = vec![0u8; width];
+            let paint = |row: &mut Vec<u8>, rank: &mut Vec<u8>, a: u64, b: u64, ch: u8, r: u8| {
+                for c in col(a)..=col(b.max(a)) {
+                    if r >= rank[c] {
+                        row[c] = ch;
+                        rank[c] = r;
+                    }
+                }
+            };
+            let mut lock_start: crate::util::FxMap<u64, u64> = crate::util::FxMap::default();
+            let mut barrier_enter: crate::util::FxMap<u64, u64> = crate::util::FxMap::default();
+            let mut fetch_start: u64 = 0;
+            for e in &p.events {
+                match e.kind {
+                    EventKind::PhaseBegin { .. } => {
+                        let c = col(e.ts);
+                        row[c] = b'|';
+                        rank[c] = 4;
+                    }
+                    EventKind::LockAcquireStart { lock } => {
+                        lock_start.insert(lock, e.ts);
+                    }
+                    EventKind::LockAcquireGranted { lock } => {
+                        if let Some(t0) = lock_start.remove(&lock) {
+                            paint(&mut row, &mut rank, t0, e.ts, b'L', 2);
+                        }
+                    }
+                    EventKind::BarrierEnter { barrier } => {
+                        barrier_enter.insert(barrier, e.ts);
+                    }
+                    EventKind::BarrierExit { barrier } => {
+                        if let Some(t0) = barrier_enter.remove(&barrier) {
+                            paint(&mut row, &mut rank, t0, e.ts, b'B', 3);
+                        }
+                    }
+                    EventKind::PageFetchStart { .. } => fetch_start = e.ts,
+                    EventKind::PageFetchDone { .. } => {
+                        paint(&mut row, &mut rank, fetch_start, e.ts, b'F', 1);
+                    }
+                    EventKind::RemoteMiss { .. } => {
+                        paint(&mut row, &mut rank, e.ts, e.ts, b'F', 1);
+                    }
+                    _ => {}
+                }
+            }
+            let _ = writeln!(
+                out,
+                "p{pid:<3} {}{}",
+                String::from_utf8(row).unwrap(),
+                if p.dropped > 0 {
+                    format!("  ({} dropped)", p.dropped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        out.push_str(
+            "legend: B=barrier wait  L=lock wait  F=fetch/miss  |=phase begin  .=compute\n",
+        );
+        out
+    }
+
+    /// Per-proc wait-latency report: one line per processor plus merged
+    /// totals and log2 distributions — the "pages fetched are balanced but
+    /// cost is not" check as a one-line-per-proc table.
+    pub fn wait_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "wait-latency histograms [{}] (cycles):", self.label);
+        for (pid, p) in self.procs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  p{pid:<3} fetch[{}]  lock[{}]  barrier[{}]",
+                p.fetch_wait.summary(),
+                p.lock_wait.summary(),
+                p.barrier_wait.summary()
+            );
+        }
+        let (f, l, b) = self.merged_hists();
+        let _ = writeln!(
+            out,
+            "  all  fetch[{}]  lock[{}]  barrier[{}]",
+            f.summary(),
+            l.summary(),
+            b.summary()
+        );
+        let _ = writeln!(out, "  fetch dist:   {}", f.dist_line());
+        let _ = writeln!(out, "  lock dist:    {}", l.dist_line());
+        let _ = writeln!(out, "  barrier dist: {}", b.dist_line());
+        out
+    }
+}
+
+fn instant(pid: usize, ts: u64, name: &str, cat: &str, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\
+         \"tid\":{pid},\"ts\":{ts},\"args\":{{{args}}}}}",
+        esc(name)
+    )
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_and_quantiles() {
+        let mut h = WaitHist::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1004);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket(0), 1); // the zero
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 1); // 3
+        assert_eq!(h.bucket(10), 1); // 1000 (512..1024)
+        assert_eq!(h.quantile(1.0), 1 << 10);
+        let mut m = WaitHist::default();
+        m.merge(&h);
+        m.merge(&h);
+        assert_eq!(m.count(), 8);
+        assert_eq!(m.max(), 1000);
+    }
+
+    #[test]
+    fn sink_caps_and_counts_drops() {
+        let mut s = TraceSink::new(2, 3);
+        for i in 0..5 {
+            s.push(0, i, EventKind::DiffCreated { page: i });
+        }
+        s.push(1, 9, EventKind::DiffApplied { page: 9 });
+        let tr = s.into_trace("t".into(), vec![], &[10, 10]);
+        assert_eq!(tr.procs[0].events.len(), 3);
+        assert_eq!(tr.procs[0].dropped, 2);
+        assert_eq!(tr.procs[1].events.len(), 1);
+        assert_eq!(tr.dropped_events(), 2);
+        // Sequence numbers are global and strictly increasing.
+        assert!(tr.procs[0].events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut s = TraceSink::new(2, 64);
+        s.push(0, 0, EventKind::PhaseBegin { phase: 0 });
+        s.push(0, 5, EventKind::LockAcquireStart { lock: 1 });
+        s.push(0, 9, EventKind::LockAcquireGranted { lock: 1 });
+        s.push(0, 20, EventKind::LockRelease { lock: 1 });
+        s.push(1, 22, EventKind::LockAcquireGranted { lock: 1 });
+        s.push(0, 30, EventKind::PhaseEnd { phase: 0 });
+        let tr = s.into_trace("unit \"q\"".into(), vec!["init".into()], &[30, 30]);
+        let json = tr.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"init\""));
+        assert!(json.contains("\\\"q\\\""));
+        // One handoff flow pair (release on p0 -> grant on p1).
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        // Balanced braces/brackets outside strings.
+        let (mut depth, mut in_str, mut escn) = (0i64, false, false);
+        for c in json.chars() {
+            if escn {
+                escn = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escn = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

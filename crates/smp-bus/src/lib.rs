@@ -88,6 +88,8 @@ pub struct SmpPlatform {
     bus: Resource,
     snoop: FxMap<u64, SnoopEnt>,
     line_mask: u64,
+    /// Shared event-trace sink for the run (None when tracing is off).
+    trace: Option<sim_core::TraceHandle>,
 }
 
 impl SmpPlatform {
@@ -105,6 +107,7 @@ impl SmpPlatform {
             bus: Resource::new(),
             snoop: FxMap::default(),
             line_mask,
+            trace: None,
         }
     }
 
@@ -134,7 +137,16 @@ impl SmpPlatform {
         if let Some(owner) = ent.owner {
             let owner = owner as usize;
             if owner != pid {
-                // Cache-to-cache: one line transfer on the bus.
+                // Cache-to-cache: one line transfer on the bus. The closest
+                // thing a snooping bus has to a "remote" miss — trace it
+                // with the supplying cache as the home.
+                sim_core::trace::emit(
+                    &self.trace,
+                    t.timing_on,
+                    pid,
+                    *t.now,
+                    sim_core::EventKind::RemoteMiss { line, home: owner },
+                );
                 stall = self.bus_txn(t, self.cfg.bus_line);
                 if write {
                     self.caches[owner].0.set_state(line, LineState::Invalid);
@@ -173,6 +185,8 @@ impl SmpPlatform {
             stall += 0;
         }
         t.stats.counters.bytes_transferred += self.cfg.l2.line;
+        // Every bus-serviced miss is a data-latency sample on this platform.
+        sim_core::trace::sample_fetch(&self.trace, t.timing_on, t.pid, stall);
         stall
     }
 
@@ -406,6 +420,10 @@ impl Platform for SmpPlatform {
 
     fn reset_timing(&mut self) {
         self.bus.reset();
+    }
+
+    fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
+        self.trace = trace;
     }
 }
 

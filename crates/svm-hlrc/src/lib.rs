@@ -97,6 +97,8 @@ pub struct SvmPlatform {
     log_base: Vec<u32>,
     /// Vector clock at the last release of each lock.
     lock_vc: FxMap<u32, Vec<u32>>,
+    /// Shared event-trace sink for the run (None when tracing is off).
+    trace: Option<sim_core::TraceHandle>,
 }
 
 impl SvmPlatform {
@@ -135,6 +137,7 @@ impl SvmPlatform {
             logs: vec![Vec::new(); nn],
             log_base: vec![0; nn],
             lock_vc: FxMap::default(),
+            trace: None,
         }
     }
 
@@ -183,6 +186,19 @@ impl SvmPlatform {
         let nd = self.node_of(t.pid);
         debug_assert_ne!(nd, home);
         self.home_frame_entry(home, page);
+        let t0 = *t.now;
+        let wire = self.page_bytes() + self.cfg.ctrl_msg_bytes;
+        sim_core::trace::emit(
+            &self.trace,
+            t.timing_on,
+            t.pid,
+            t0,
+            sim_core::EventKind::PageFetchStart {
+                page: page << self.page_shift,
+                home,
+                bytes: wire,
+            },
+        );
         // Timing: trap, request message, home service, page transfer.
         t.charge(Bucket::DataWait, self.cfg.fault_trap);
         if t.timing_on {
@@ -200,6 +216,18 @@ impl SvmPlatform {
             let done = in_end + self.page_bytes() / 2 * self.cfg.memcpy_cyc_per_2bytes;
             t.advance_to(Bucket::DataWait, done);
         }
+        sim_core::trace::emit(
+            &self.trace,
+            t.timing_on,
+            t.pid,
+            *t.now,
+            sim_core::EventKind::PageFetchDone {
+                page: page << self.page_shift,
+                home,
+                bytes: wire,
+            },
+        );
+        sim_core::trace::sample_fetch(&self.trace, t.timing_on, t.pid, *t.now - t0);
         // State: install a read-only copy of the home frame.
         let entry = PageEntry::copy_of(&self.nodes[home].pages[&page].frame);
         self.nodes[nd].pages.insert(page, entry);
@@ -212,8 +240,7 @@ impl SvmPlatform {
             self.caches[q].1.invalidate_range(base, len);
         }
         t.stats.counters.remote_fetches += 1;
-        t.stats.counters.bytes_transferred += self.page_bytes() + self.cfg.ctrl_msg_bytes;
-        let wire = self.page_bytes() + self.cfg.ctrl_msg_bytes;
+        t.stats.counters.bytes_transferred += wire;
         let (profiling, words) = (self.profiling, self.cfg.words_per_page() as usize);
         self.activity
             .entry(page)
@@ -376,6 +403,15 @@ impl SvmPlatform {
             .serve(arr, wire_bytes * self.cfg.io_cyc_per_byte);
         let (_, applied) = self.nodes[home].handler.serve(in_end, apply);
         self.nodes[home].debt += apply;
+        // Attribute the application to the home node's first processor, at
+        // the virtual time the home handler finished applying it.
+        sim_core::trace::emit(
+            &self.trace,
+            timing_on,
+            home * self.cfg.procs_per_node,
+            applied,
+            sim_core::EventKind::DiffApplied { page: base },
+        );
         (local, applied, wire_bytes)
     }
 
@@ -402,6 +438,15 @@ impl SvmPlatform {
                 t.stats.counters.bytes_transferred += bytes;
                 if nd != home {
                     t.stats.counters.diffs_created += 1;
+                    sim_core::trace::emit(
+                        &self.trace,
+                        t.timing_on,
+                        t.pid,
+                        *t.now,
+                        sim_core::EventKind::DiffCreated {
+                            page: page << self.page_shift,
+                        },
+                    );
                 }
             }
         }
@@ -418,6 +463,7 @@ impl SvmPlatform {
         &mut self,
         g: usize,
         page: u64,
+        at: u64,
         placement: &mut PlacementMap,
         timing_on: bool,
         acc: &mut Acc,
@@ -435,6 +481,15 @@ impl SvmPlatform {
                 // The flusher here is the invalidated node, whose statistics
                 // this path cannot reach: accrue and drain at finalize.
                 self.nodes[g].diffs_created_debt += 1;
+                sim_core::trace::emit(
+                    &self.trace,
+                    timing_on,
+                    toucher,
+                    at,
+                    sim_core::EventKind::DiffCreated {
+                        page: page << self.page_shift,
+                    },
+                );
                 acc.cycles += local;
                 self.nodes[g].pages.remove(&page);
                 acc.cycles += self.cfg.inval_per_page;
@@ -448,6 +503,15 @@ impl SvmPlatform {
         }
         if state.is_some() {
             self.activity.entry(page).or_default().record_inval();
+            sim_core::trace::emit(
+                &self.trace,
+                timing_on,
+                toucher,
+                at,
+                sim_core::EventKind::Invalidation {
+                    page: page << self.page_shift,
+                },
+            );
         }
         let base = page << self.page_shift;
         let len = self.cfg.page_size;
@@ -463,6 +527,7 @@ impl SvmPlatform {
         &mut self,
         g: usize,
         upto: &[u32],
+        at: u64,
         placement: &mut PlacementMap,
         timing_on: bool,
     ) -> Acc {
@@ -481,7 +546,7 @@ impl SvmPlatform {
                 let li = (idx - self.log_base[r]) as usize;
                 let pages: Vec<u64> = self.logs[r][li].pages.clone();
                 for page in pages {
-                    self.invalidate_page(g, page, placement, timing_on, &mut acc);
+                    self.invalidate_page(g, page, at, placement, timing_on, &mut acc);
                 }
             }
             self.vc[g][r] = to;
@@ -696,7 +761,7 @@ impl Platform for SvmPlatform {
             Some(v) => v.clone(),
             None => vec![0; self.cfg.nprocs],
         };
-        let acc = self.consume_notices(self.node_of(pid), &upto, placement, timing_on);
+        let acc = self.consume_notices(self.node_of(pid), &upto, grant_at, placement, timing_on);
         stats.counters.invalidations += acc.invals;
         if !timing_on {
             return grant_at;
@@ -757,7 +822,7 @@ impl Platform for SvmPlatform {
         let mut send_cursor = merge_end;
         let mut mgr_acc = Acc::default();
         for nd in 0..nn {
-            let acc = self.consume_notices(nd, &vt, placement, timing_on);
+            let acc = self.consume_notices(nd, &vt, merge_end, placement, timing_on);
             stats[nd * ppn].counters.invalidations += acc.invals;
             if nd == mgr {
                 mgr_acc = acc;
@@ -839,6 +904,10 @@ impl Platform for SvmPlatform {
 
     fn set_sharing_profile(&mut self, on: bool) {
         self.profiling = on;
+    }
+
+    fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
+        self.trace = trace;
     }
 
     fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {

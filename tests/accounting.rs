@@ -32,10 +32,25 @@ fn total_cycles_is_the_maximum_clock() {
 
 #[test]
 fn phase_times_sum_to_total() {
-    let stats = run_one(App::Barnes, OptClass::Algorithm, PlatformKind::Svm, 4);
-    for p in &stats.procs {
-        let phases: u64 = (0..sim_core::MAX_PHASES).map(|ph| p.phase_total(ph)).sum();
-        assert_eq!(phases, p.total());
+    // A multi-phase application on all three platform families: the
+    // per-phase ledger must partition both each bucket and the total.
+    for pf in [PlatformKind::Svm, PlatformKind::Dsm, PlatformKind::Smp] {
+        let stats = run_one(App::Barnes, OptClass::Algorithm, pf, 4);
+        for (pid, p) in stats.procs.iter().enumerate() {
+            let phases: u64 = (0..sim_core::MAX_PHASES).map(|ph| p.phase_total(ph)).sum();
+            assert_eq!(phases, p.total(), "{pf:?} p{pid}: phase sum != total");
+            for bucket in sim_core::Bucket::ALL {
+                let by_phase: u64 = (0..sim_core::MAX_PHASES)
+                    .map(|ph| p.get_phase(ph, bucket))
+                    .sum();
+                assert_eq!(
+                    by_phase,
+                    p.get(bucket),
+                    "{pf:?} p{pid}: phase split of {bucket:?} != bucket total"
+                );
+            }
+            assert_eq!(p.phase_overflows(), 0, "{pf:?} p{pid}: phase overflowed");
+        }
     }
 }
 
