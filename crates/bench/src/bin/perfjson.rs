@@ -23,6 +23,10 @@
 //! run, the default buffer cap must not drop events, and the Chrome
 //! `trace_event` export is written to `--trace-out` for CI to archive.
 //!
+//! A fourth cell runs the critical-path analyzer over that trace: pure
+//! post-hoc host work whose reconstructed path length must equal the
+//! end-to-end virtual time; the JSON records the analysis cost.
+//!
 //! ```text
 //! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
 //!     --procs N --out PATH --profile-out PATH --trace-out PATH]
@@ -203,6 +207,22 @@ fn main() {
         tr.total_events()
     );
 
+    // Critical-path cell: the analyzer is pure post-hoc work on the trace —
+    // the timed RunStats were already asserted bit-identical above — so
+    // this only measures host-side analysis cost and checks the defining
+    // invariant (reconstructed path length == end-to-end virtual time).
+    eprintln!("[perfjson] critical-path analysis of the traced cell...");
+    let t7 = Instant::now();
+    let cp = sim_core::critpath::analyze(&tr);
+    let host_s_critpath = t7.elapsed().as_secs_f64();
+    assert_eq!(
+        cp.total,
+        tr.end(),
+        "critical-path length != end-to-end time for Ocean on SVM"
+    );
+    assert_eq!(cp.baseline, tr.end(), "what-if baseline != end-to-end time");
+    assert_eq!(cp.edges_dropped, 0, "default edge cap overflowed");
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"simulator-throughput\",");
@@ -237,6 +257,17 @@ fn main() {
         host_s_traced / host_s_plain.max(1e-12),
         tr.total_events(),
         tr.dropped_events()
+    );
+    let _ = writeln!(
+        json,
+        "  \"critpath_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"analysis_host_s\": {:.4}, \"path_cycles\": {}, \"edges\": {}, \
+         \"edges_dropped\": {}, \"invariant_ok\": {}}},",
+        host_s_critpath,
+        cp.total,
+        cp.edges,
+        cp.edges_dropped,
+        cp.total == tr.end() && cp.baseline == tr.end()
     );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

@@ -210,6 +210,19 @@ impl DsmPlatform {
                 sim_core::EventKind::RemoteMiss { line, home },
             );
             sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, stall);
+            // Critical-path provenance: the caller charges `stall` from
+            // `now`, so the service interval is (now, now + stall]; the
+            // home directory stands in as the serving side.
+            sim_core::trace::emit_edge(
+                &self.trace,
+                t.timing_on,
+                sim_core::DepKind::RemoteMiss { line },
+                pid,
+                *t.now,
+                *t.now + stall,
+                home,
+                *t.now,
+            );
         }
         stall
     }

@@ -3,11 +3,15 @@
 //! information in real SVM systems would be very useful"): per-page fetch,
 //! diff, and invalidation counts for one application run.
 use apps::ocean::{self, OceanParams};
-use figures::{header, parse_args};
+use figures::{cli, header, Opts};
 use sim_core::{run_profiled, RunConfig};
 
 fn main() {
-    let opts = parse_args();
+    let p = cli::parse(&[], &[]);
+    let opts = Opts {
+        scale: p.scale,
+        nprocs: p.nprocs,
+    };
     header(
         "Page profile",
         "per-page SVM protocol activity for Ocean (original version)",

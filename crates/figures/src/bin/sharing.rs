@@ -13,58 +13,19 @@
 //!     --procs N --app ocean --platform svm|tmk --json PATH]
 //! ```
 
-use apps::{App, AppSpec, OptClass, Platform, Scale};
-use figures::{header, sweep};
+use apps::{AppSpec, OptClass, Platform};
+use figures::{cli, header, sweep};
 use sim_core::{RunConfig, SharingProfile};
 use std::fmt::Write as _;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = Scale::Default;
-    let mut nprocs = 16usize;
-    let mut app = App::Ocean;
-    let mut platform = Platform::Svm;
-    let mut json_path: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = match args.get(i).map(String::as_str) {
-                    Some("test") => Scale::Test,
-                    Some("default") => Scale::Default,
-                    Some("paper") => Scale::Paper,
-                    other => panic!("unknown scale {other:?} (test|default|paper)"),
-                };
-            }
-            "--procs" => {
-                i += 1;
-                nprocs = args[i].parse().expect("--procs N");
-            }
-            "--app" => {
-                i += 1;
-                let name = args[i].to_ascii_lowercase();
-                app = *App::ALL
-                    .iter()
-                    .find(|a| a.name().to_ascii_lowercase() == name)
-                    .unwrap_or_else(|| panic!("unknown app {name}"));
-            }
-            "--platform" => {
-                i += 1;
-                platform = match args.get(i).map(String::as_str) {
-                    Some("svm") => Platform::Svm,
-                    Some("tmk") => Platform::Tmk,
-                    other => panic!("unknown platform {other:?} (svm|tmk — page-based only)"),
-                };
-            }
-            "--json" => {
-                i += 1;
-                json_path = Some(args[i].clone());
-            }
-            other => panic!("unknown argument {other}"),
-        }
-        i += 1;
-    }
+    let p = cli::parse(&["--json"], &[]);
+    let (scale, nprocs, app, platform) = (p.scale, p.nprocs, p.app, p.platform);
+    assert!(
+        matches!(platform, Platform::Svm | Platform::Tmk),
+        "sharing profiles exist on page-based platforms only (svm|tmk)"
+    );
+    let json_path = p.extra("--json").map(String::from);
 
     header(
         "Sharing diagnostics",

@@ -13,6 +13,10 @@
 //!    and barrier-wait — the paper's "where does the time go" question at
 //!    event granularity.
 //!
+//! With `--json PATH`, additionally writes the per-proc and merged
+//! wait-latency histogram buckets as machine-readable JSON (the same shape
+//! `critpath --json` embeds).
+//!
 //! With `--compare-class`, runs a second optimization class of the same
 //! application and prints both merged wait histograms side by side — e.g.
 //! Ocean Orig vs DS, where data-structure reorganization shifts the
@@ -21,22 +25,12 @@
 //! ```text
 //! cargo run --release -p figures --bin trace [-- --scale test|default|paper \
 //!     --procs N --app ocean --class orig|pa|ds|alg --platform svm|tmk|dsm|smp \
-//!     --out trace.json --compare-class ds --width 100]
+//!     --out trace.json --json hists.json --compare-class ds --width 100]
 //! ```
 
 use apps::{App, AppSpec, OptClass, Platform, Scale};
-use figures::header;
+use figures::{cli, header, wait_hists_json};
 use sim_core::{RunConfig, RunTrace};
-
-fn parse_class(s: &str) -> OptClass {
-    match s.to_ascii_lowercase().as_str() {
-        "orig" => OptClass::Orig,
-        "pa" | "p/a" | "padalign" => OptClass::PadAlign,
-        "ds" | "datastruct" => OptClass::DataStruct,
-        "alg" | "algorithm" => OptClass::Algorithm,
-        other => panic!("unknown class {other} (orig|pa|ds|alg)"),
-    }
-}
 
 fn run_traced(
     app: App,
@@ -55,85 +49,29 @@ fn run_traced(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = Scale::Default;
-    let mut nprocs = 16usize;
-    let mut app = App::Ocean;
-    let mut class = OptClass::Orig;
-    let mut compare: Option<OptClass> = None;
-    let mut platform = Platform::Svm;
-    let mut out_path = String::from("trace.json");
-    let mut width = 100usize;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = match args.get(i).map(String::as_str) {
-                    Some("test") => Scale::Test,
-                    Some("default") => Scale::Default,
-                    Some("paper") => Scale::Paper,
-                    other => panic!("unknown scale {other:?} (test|default|paper)"),
-                };
-            }
-            "--procs" => {
-                i += 1;
-                nprocs = args[i].parse().expect("--procs N");
-            }
-            "--app" => {
-                i += 1;
-                let name = args[i].to_ascii_lowercase();
-                app = *App::ALL
-                    .iter()
-                    .find(|a| a.name().to_ascii_lowercase() == name)
-                    .unwrap_or_else(|| panic!("unknown app {name}"));
-            }
-            "--class" => {
-                i += 1;
-                class = parse_class(&args[i]);
-            }
-            "--compare-class" => {
-                i += 1;
-                compare = Some(parse_class(&args[i]));
-            }
-            "--platform" => {
-                i += 1;
-                platform = match args.get(i).map(String::as_str) {
-                    Some("svm") => Platform::Svm,
-                    Some("tmk") => Platform::Tmk,
-                    Some("dsm") => Platform::Dsm,
-                    Some("smp") => Platform::Smp,
-                    other => panic!("unknown platform {other:?} (svm|tmk|dsm|smp)"),
-                };
-            }
-            "--out" => {
-                i += 1;
-                out_path = args[i].clone();
-            }
-            "--width" => {
-                i += 1;
-                width = args[i].parse().expect("--width N");
-            }
-            other => panic!("unknown argument {other}"),
-        }
-        i += 1;
-    }
+    let p = cli::parse(&["--out", "--json", "--compare-class", "--width"], &[]);
+    let compare = p.extra("--compare-class").map(cli::parse_class);
+    let out_path = p.extra("--out").unwrap_or("trace.json").to_string();
+    let width: usize = p
+        .extra("--width")
+        .map(|w| w.parse().expect("--width N"))
+        .unwrap_or(100);
 
     header(
         "Protocol event trace",
         &format!(
             "{}/{} on {} with {} processors",
-            app.name(),
-            class.label(),
-            platform.name(),
-            nprocs
+            p.app.name(),
+            p.class.label(),
+            p.platform.name(),
+            p.nprocs
         ),
         "virtual-time protocol events with Perfetto export and wait-latency \
          histograms (timestamps are virtual cycles, so the trace is \
          deterministic run to run)",
     );
 
-    let tr = run_traced(app, class, platform, nprocs, scale);
+    let tr = run_traced(p.app, p.class, p.platform, p.nprocs, p.scale);
     println!(
         "captured {} events across {} processors ({} dropped), {} cycles",
         tr.total_events(),
@@ -149,14 +87,21 @@ fn main() {
     std::fs::write(&out_path, tr.to_chrome_json()).expect("write trace json");
     eprintln!("[trace] wrote {out_path} — load it at https://ui.perfetto.dev");
 
+    if let Some(json_path) = p.extra("--json") {
+        let mut s = wait_hists_json(&tr);
+        s.push('\n');
+        std::fs::write(json_path, s).expect("write wait-hist json");
+        eprintln!("[trace] wrote {json_path}");
+    }
+
     if let Some(cls2) = compare {
-        let tr2 = run_traced(app, cls2, platform, nprocs, scale);
+        let tr2 = run_traced(p.app, cls2, p.platform, p.nprocs, p.scale);
         let (f1, l1, b1) = tr.merged_hists();
         let (f2, l2, b2) = tr2.merged_hists();
         println!();
         println!(
             "comparison {} vs {} (merged across processors):",
-            class.label(),
+            p.class.label(),
             cls2.label()
         );
         for (what, a, b) in [
@@ -164,9 +109,9 @@ fn main() {
             ("lock", &l1, &l2),
             ("barrier", &b1, &b2),
         ] {
-            println!("  {:<8} {:>5}: [{}]", what, class.label(), a.summary());
+            println!("  {:<8} {:>5}: [{}]", what, p.class.label(), a.summary());
             println!("  {:<8} {:>5}: [{}]", "", cls2.label(), b.summary());
-            println!("  {:<8} {:>5}  {}", "", class.label(), a.dist_line());
+            println!("  {:<8} {:>5}  {}", "", p.class.label(), a.dist_line());
             println!("  {:<8} {:>5}  {}", "", cls2.label(), b.dist_line());
         }
         let p2 = tr2.to_chrome_json();

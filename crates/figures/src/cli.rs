@@ -1,0 +1,197 @@
+//! cli — shared argument parsing for the cell-selecting figure binaries.
+//!
+//! The `fig*` binaries take only `--scale`/`--procs` (see
+//! [`crate::parse_args`]); the diagnostic tools (`trace`, `sharing`,
+//! `pagemap`, `critpath`, ...) additionally select an application cell and
+//! may define tool-specific flags. This module factors the cell-selection
+//! boilerplate those tools used to duplicate: every tool gets
+//! `--scale test|default|paper --procs N --app NAME --class orig|pa|ds|alg
+//! --platform svm|tmk|dsm|smp` for free and declares its extra flags by
+//! name.
+
+use apps::{App, OptClass, Platform, Scale};
+
+/// Parse a `--scale` value.
+pub fn parse_scale(s: &str) -> Scale {
+    match s.to_ascii_lowercase().as_str() {
+        "test" => Scale::Test,
+        "default" => Scale::Default,
+        "paper" => Scale::Paper,
+        other => panic!("unknown scale {other} (test|default|paper)"),
+    }
+}
+
+/// Parse a `--class` value.
+pub fn parse_class(s: &str) -> OptClass {
+    match s.to_ascii_lowercase().as_str() {
+        "orig" => OptClass::Orig,
+        "pa" | "p/a" | "padalign" => OptClass::PadAlign,
+        "ds" | "datastruct" => OptClass::DataStruct,
+        "alg" | "algorithm" => OptClass::Algorithm,
+        other => panic!("unknown class {other} (orig|pa|ds|alg)"),
+    }
+}
+
+/// Parse a `--platform` value.
+pub fn parse_platform(s: &str) -> Platform {
+    match s.to_ascii_lowercase().as_str() {
+        "svm" => Platform::Svm,
+        "tmk" => Platform::Tmk,
+        "dsm" => Platform::Dsm,
+        "smp" => Platform::Smp,
+        other => panic!("unknown platform {other} (svm|tmk|dsm|smp)"),
+    }
+}
+
+/// Parse a `--app` value by (case-insensitive) application name.
+pub fn parse_app(s: &str) -> App {
+    let name = s.to_ascii_lowercase();
+    *App::ALL
+        .iter()
+        .find(|a| a.name().to_ascii_lowercase() == name)
+        .unwrap_or_else(|| panic!("unknown app {name}"))
+}
+
+/// Parsed command line: the standard cell selection plus any
+/// tool-declared extra flags.
+#[derive(Clone, Debug)]
+pub struct Parsed {
+    /// Problem scale preset.
+    pub scale: Scale,
+    /// Processor count for the run (paper: 16).
+    pub nprocs: usize,
+    /// Application under study.
+    pub app: App,
+    /// Optimization class under study.
+    pub class: OptClass,
+    /// Platform model under study.
+    pub platform: Platform,
+    extras: Vec<(String, Option<String>)>,
+}
+
+impl Parsed {
+    /// Value of a tool-declared value flag (e.g. `extra("--out")`), if given.
+    pub fn extra(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether a tool-declared boolean flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.extras.iter().any(|(f, _)| f == flag)
+    }
+}
+
+/// Parse `std::env::args`. `value_flags` are tool flags that take one
+/// value; `bool_flags` are bare switches. Anything else (beyond the
+/// standard cell selection) is an error.
+pub fn parse(value_flags: &[&str], bool_flags: &[&str]) -> Parsed {
+    parse_from(std::env::args().skip(1).collect(), value_flags, bool_flags)
+}
+
+/// [`parse`] on an explicit argument vector (testable).
+pub fn parse_from(args: Vec<String>, value_flags: &[&str], bool_flags: &[&str]) -> Parsed {
+    let mut p = Parsed {
+        scale: Scale::Default,
+        nprocs: 16,
+        app: App::Ocean,
+        class: OptClass::Orig,
+        platform: Platform::Svm,
+        extras: Vec::new(),
+    };
+    fn take<'a>(args: &'a [String], i: &mut usize) -> &'a str {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| panic!("{} needs a value", args[*i - 1]))
+    }
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => p.scale = parse_scale(take(&args, &mut i)),
+            "--procs" => p.nprocs = take(&args, &mut i).parse().expect("--procs N"),
+            "--app" => p.app = parse_app(take(&args, &mut i)),
+            "--class" => p.class = parse_class(take(&args, &mut i)),
+            "--platform" => p.platform = parse_platform(take(&args, &mut i)),
+            other if value_flags.contains(&other) => {
+                let flag = other.to_string();
+                let val = take(&args, &mut i).to_string();
+                p.extras.push((flag, Some(val)));
+            }
+            other if bool_flags.contains(&other) => {
+                p.extras.push((other.to_string(), None));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_standard_flags() {
+        let p = parse_from(v(&[]), &[], &[]);
+        assert_eq!(p.nprocs, 16);
+        assert_eq!(p.app, App::Ocean);
+        assert_eq!(p.class, OptClass::Orig);
+        assert_eq!(p.platform, Platform::Svm);
+        let p = parse_from(
+            v(&[
+                "--scale",
+                "test",
+                "--procs",
+                "4",
+                "--app",
+                "lu",
+                "--class",
+                "ds",
+                "--platform",
+                "tmk",
+            ]),
+            &[],
+            &[],
+        );
+        assert!(matches!(p.scale, Scale::Test));
+        assert_eq!(p.nprocs, 4);
+        assert_eq!(p.app, App::Lu);
+        assert_eq!(p.class, OptClass::DataStruct);
+        assert_eq!(p.platform, Platform::Tmk);
+    }
+
+    #[test]
+    fn extra_value_and_bool_flags() {
+        let p = parse_from(
+            v(&["--out", "x.json", "--what-if", "--procs", "2"]),
+            &["--out"],
+            &["--what-if"],
+        );
+        assert_eq!(p.extra("--out"), Some("x.json"));
+        assert!(p.has("--what-if"));
+        assert!(!p.has("--json"));
+        assert_eq!(p.extra("--json"), None);
+        assert_eq!(p.nprocs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn undeclared_flag_is_rejected() {
+        parse_from(v(&["--bogus"]), &[], &[]);
+    }
+
+    #[test]
+    fn class_and_platform_aliases() {
+        assert_eq!(parse_class("P/A"), OptClass::PadAlign);
+        assert_eq!(parse_class("algorithm"), OptClass::Algorithm);
+        assert_eq!(parse_platform("SMP"), Platform::Smp);
+        assert_eq!(parse_app("Radix"), App::Radix);
+    }
+}

@@ -14,8 +14,38 @@
 //! header format.
 
 use apps::{App, AppSpec, OptClass, Platform, Scale};
-use sim_core::{Bucket, RunStats};
+use sim_core::{Bucket, RunStats, RunTrace};
 use std::collections::HashMap;
+
+pub mod cli;
+
+/// Wait-latency histograms of a traced run as JSON: merged and per-proc
+/// fetch/lock/barrier [`sim_core::WaitHist`] buckets. Shared by
+/// `trace --json` and `critpath --json`.
+pub fn wait_hists_json(tr: &RunTrace) -> String {
+    fn triple(f: &sim_core::WaitHist, l: &sim_core::WaitHist, b: &sim_core::WaitHist) -> String {
+        format!(
+            "\"fetch\": {}, \"lock\": {}, \"barrier\": {}",
+            f.to_json(),
+            l.to_json(),
+            b.to_json()
+        )
+    }
+    let (f, l, b) = tr.merged_hists();
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"merged\": {{{}}},\n", triple(&f, &l, &b)));
+    s.push_str("  \"procs\": [\n");
+    for (pid, p) in tr.procs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pid\": {}, {}}}{}\n",
+            pid,
+            triple(&p.fetch_wait, &p.lock_wait, &p.barrier_wait),
+            if pid + 1 < tr.procs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}");
+    s
+}
 
 pub mod sweep {
     //! Parallel sweep driver: run independent simulation cells on a pool of

@@ -265,6 +265,21 @@ impl TmkPlatform {
             },
         );
         sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, *t.now - t0);
+        // Critical-path provenance: the fault stalled `pid` over (t0, now];
+        // the round-robin base source stands in as the serving side.
+        sim_core::trace::emit_edge(
+            &self.trace,
+            t.timing_on,
+            sim_core::DepKind::PageFetch {
+                page: page << self.page_shift,
+                bytes: wire,
+            },
+            pid,
+            t0,
+            *t.now,
+            src,
+            t0,
+        );
         self.nodes[pid]
             .pages
             .insert(page, PageEntry::copy_of(&contents));
@@ -356,7 +371,22 @@ impl TmkPlatform {
             let diff = Diff::create(&twin, &entry.frame);
             let scan = self.cfg.words_per_page() * self.cfg.diff_scan_per_word
                 + diff.len() as u64 * self.cfg.diff_scan_per_word;
+            let diff_t0 = *t.now;
             t.charge(Bucket::HandlerCompute, scan);
+            // Critical-path provenance: the writer spent (diff_t0, now]
+            // creating and archiving this page's diff.
+            sim_core::trace::emit_edge(
+                &self.trace,
+                t.timing_on,
+                sim_core::DepKind::Diff {
+                    page: page << self.page_shift,
+                },
+                pid,
+                diff_t0,
+                *t.now,
+                pid,
+                diff_t0,
+            );
             t.stats.counters.diffs_created += 1;
             // Archival into the page chain *is* this protocol's diff
             // application — there is no home copy to patch — so the two

@@ -197,6 +197,22 @@ impl GlobalAlloc {
             .all(|w| w[0].last_page < w[1].first_page));
     }
 
+    /// Snapshot of the labeled allocation spans as `(first byte, last byte
+    /// inclusive, label)` triples in address order — the page-granular view
+    /// post-hoc analysis (the critical-path analyzer) attributes protocol
+    /// traffic against.
+    pub fn labeled_spans(&self) -> Vec<crate::trace::AllocSpan> {
+        self.map
+            .regions
+            .iter()
+            .map(|r| crate::trace::AllocSpan {
+                first: r.first_page * PAGE_SIZE,
+                last: (r.last_page + 1) * PAGE_SIZE - 1,
+                label: r.label,
+            })
+            .collect()
+    }
+
     /// High-water mark of the heap.
     pub fn high_water(&self) -> Addr {
         self.next

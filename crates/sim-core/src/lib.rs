@@ -42,6 +42,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod cache;
+pub mod critpath;
 pub mod detector;
 pub mod mem;
 pub mod platform;
@@ -56,6 +57,7 @@ pub mod view;
 pub use addr::{Addr, HEAP_BASE, PAGE_SHIFT, PAGE_SIZE};
 pub use alloc::{GlobalAlloc, Placement, PlacementMap};
 pub use cache::{Cache, CacheGeom, LineState, Lookup};
+pub use critpath::{analyze, what_if, what_if_report, CritPath, PathCat, PathStep, WhatIf};
 pub use detector::{RaceDetector, RaceKind, RaceReport, VectorClock};
 pub use mem::FlatMem;
 pub use platform::{NullPlatform, Platform, Timing};
@@ -63,5 +65,8 @@ pub use resource::Resource;
 pub use sched::{run, run_profiled, Proc, RunConfig};
 pub use sharing::{LabelSharing, PageSharing, SharingClass, SharingProfile};
 pub use stats::{Bucket, Counter, ProcStats, RunStats, MAX_PHASES};
-pub use trace::{Event, EventKind, ProcTrace, RunTrace, TraceHandle, TraceSink, WaitHist};
+pub use trace::{
+    AllocSpan, DepEdge, DepKind, Event, EventKind, ProcTrace, RunTrace, TraceHandle, TraceSink,
+    WaitHist,
+};
 pub use view::{GArr, Grid2, Grid4, Word};

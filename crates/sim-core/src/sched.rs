@@ -60,6 +60,9 @@ pub struct RunConfig {
     /// Per-processor event-buffer capacity for the trace (events past the
     /// cap are counted as dropped, never reallocating).
     pub trace_cap: usize,
+    /// Run-wide dependency-edge capacity for the trace (edges past the cap
+    /// are counted as dropped; the buffer grows on demand up to the cap).
+    pub edge_cap: usize,
     /// Application phase names for figures and traces ("tree-build" instead
     /// of "phase 3"); indexed by phase id, may be shorter than the number of
     /// phases used.
@@ -78,6 +81,7 @@ impl RunConfig {
             sharing_profile: false,
             trace: false,
             trace_cap: crate::trace::DEFAULT_EVENT_CAP,
+            edge_cap: crate::trace::DEFAULT_EDGE_CAP,
             phase_names: Vec::new(),
         }
     }
@@ -115,6 +119,12 @@ impl RunConfig {
         self
     }
 
+    /// Override the run-wide dependency-edge capacity of the trace.
+    pub fn with_edge_cap(mut self, cap: usize) -> Self {
+        self.edge_cap = cap.max(1);
+        self
+    }
+
     /// Register application phase names (indexed by phase id) so figures
     /// and traces print "tree-build" instead of "phase 3".
     pub fn with_phase_names<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
@@ -148,6 +158,10 @@ struct LockSt {
     held_by: Option<usize>,
     avail_at: u64,
     waiters: Vec<Waiter>,
+    /// Last releaser and its clock at release — the provenance for a
+    /// handoff edge when the next acquire finds the lock free but still
+    /// pays for `avail_at`.
+    last_release: Option<(usize, u64)>,
 }
 
 #[derive(Default)]
@@ -225,6 +239,25 @@ impl Inner {
         if self.timing_on {
             if let Some(h) = &self.trace {
                 h.lock().unwrap().push(pid, ts, kind);
+            }
+        }
+    }
+
+    /// Record a dependency edge (same gating as `emit`; zero-length edges
+    /// are skipped by the sink). Never touches clocks or statistics.
+    #[inline]
+    fn emit_edge(
+        &self,
+        kind: crate::trace::DepKind,
+        dst: usize,
+        t0: u64,
+        t1: u64,
+        src: usize,
+        src_ts: u64,
+    ) {
+        if self.timing_on {
+            if let Some(h) = &self.trace {
+                h.lock().unwrap().push_edge(kind, dst, t0, t1, src, src_ts);
             }
         }
     }
@@ -625,6 +658,7 @@ impl Proc {
         if lk.held_by.is_none() && lk.waiters.is_empty() {
             lk.held_by = Some(pid);
             let grant_at = lk.avail_at.max(arrival);
+            let last_release = lk.last_release;
             let timing_on = inner.timing_on;
             let resume = inner.platform.acquire_grant(
                 pid,
@@ -637,9 +671,23 @@ impl Proc {
             let mut waited = 0;
             if inner.timing_on && resume > inner.clocks[pid] {
                 let d = resume - inner.clocks[pid];
+                let t0 = inner.clocks[pid];
                 inner.stats[pid].add(Bucket::LockWait, d);
                 inner.clocks[pid] = resume;
                 waited = d;
+                // The lock was free but the acquire still stalled (protocol
+                // round trips, or paying off the previous holder's
+                // `avail_at`): a handoff edge from the last releaser if one
+                // exists, else intrinsic to this processor.
+                let (src, src_ts) = last_release.unwrap_or((pid, t0));
+                inner.emit_edge(
+                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
+                    pid,
+                    t0,
+                    resume,
+                    src,
+                    src_ts,
+                );
             }
             inner.emit(
                 pid,
@@ -681,6 +729,7 @@ impl Proc {
         if let Some(det) = inner.detector.as_mut() {
             det.on_release(pid, id);
         }
+        let release_ts = inner.clocks[pid];
         let lk = inner
             .locks
             .get_mut(&id)
@@ -688,6 +737,7 @@ impl Proc {
         assert_eq!(lk.held_by, Some(pid), "unlock by non-holder p{pid}");
         lk.held_by = None;
         lk.avail_at = avail;
+        lk.last_release = Some((pid, release_ts));
         if !lk.waiters.is_empty() {
             // Earliest virtual arrival wins; pid breaks ties deterministically.
             let mut best = 0;
@@ -719,6 +769,16 @@ impl Proc {
                     crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
                 );
                 inner.sample_lock(w.pid, waited);
+                // Handoff provenance: the waiter's resume was enabled by
+                // this release at `release_ts` on the releaser's timeline.
+                inner.emit_edge(
+                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
+                    w.pid,
+                    inner.blocked_at[w.pid],
+                    resume,
+                    pid,
+                    release_ts,
+                );
             }
             inner.clocks[w.pid] = resume;
             inner.status[w.pid] = Status::Ready;
@@ -769,6 +829,15 @@ impl Proc {
                 timing_on,
             );
             debug_assert_eq!(resumes.len(), nprocs);
+            // The last arriver (earliest pid on ties) gates every exit: it
+            // is the provenance of the barrier-release edges.
+            let mut last = 0usize;
+            for q in 1..nprocs {
+                if arr[q] > arr[last] {
+                    last = q;
+                }
+            }
+            let last_ts = inner.blocked_at[last];
             for q in 0..nprocs {
                 let resume = resumes[q].max(inner.blocked_at[q]);
                 if inner.timing_on {
@@ -780,6 +849,14 @@ impl Proc {
                         crate::trace::EventKind::BarrierExit { barrier: id as u64 },
                     );
                     inner.sample_barrier(q, waited);
+                    inner.emit_edge(
+                        crate::trace::DepKind::BarrierRelease { barrier: id as u64 },
+                        q,
+                        inner.blocked_at[q],
+                        resume,
+                        last,
+                        last_ts,
+                    );
                 }
                 inner.clocks[q] = resume;
                 if q != pid {
@@ -846,11 +923,26 @@ impl Proc {
         if g.stop_arrivals == nprocs {
             g.stop_arrivals = 0;
             // Settle everyone at the maximum clock (a barrier in effect),
-            // then freeze.
+            // then freeze. The overall straggler (earliest pid on ties) is
+            // the provenance of everyone else's settle wait.
             let max = g.clocks.iter().copied().max().unwrap_or(0);
+            let mut straggler = 0usize;
+            for q in 1..nprocs {
+                if g.clocks[q] > g.clocks[straggler] {
+                    straggler = q;
+                }
+            }
             for q in 0..nprocs {
                 if g.timing_on {
                     let d = max - g.clocks[q];
+                    g.emit_edge(
+                        crate::trace::DepKind::Settle,
+                        q,
+                        g.clocks[q],
+                        max,
+                        straggler,
+                        max,
+                    );
                     g.clocks[q] = max;
                     g.stats[q].add(Bucket::BarrierWait, d);
                     // Close each processor's open phase at the settle point
@@ -1007,6 +1099,7 @@ where
         Arc::new(Mutex::new(crate::trace::TraceSink::new(
             nprocs,
             cfg.trace_cap,
+            cfg.edge_cap,
         )))
     });
     platform.set_trace(trace_handle.clone());
@@ -1129,7 +1222,12 @@ where
         };
         sink.into_inner()
             .unwrap_or_else(PoisonError::into_inner)
-            .into_trace(cfg.label.clone(), cfg.phase_names.clone(), &inner.clocks)
+            .into_trace(
+                cfg.label.clone(),
+                cfg.phase_names.clone(),
+                &inner.clocks,
+                inner.alloc.labeled_spans(),
+            )
     });
     (
         RunStats {

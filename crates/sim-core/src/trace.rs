@@ -29,6 +29,12 @@ use std::sync::{Arc, Mutex};
 /// counted, not stored). Override with [`crate::RunConfig::with_trace_cap`].
 pub const DEFAULT_EVENT_CAP: usize = 1 << 16;
 
+/// Default run-wide dependency-edge capacity (edges beyond this are counted
+/// in [`RunTrace::edges_dropped`], not stored). Override with
+/// [`crate::RunConfig::with_edge_cap`]. The buffer grows on demand up to
+/// this cap rather than preallocating it.
+pub const DEFAULT_EDGE_CAP: usize = 1 << 20;
+
 /// Number of log2 latency buckets (bucket `i` holds waits with bit-length
 /// `i`, i.e. `2^(i-1) <= wait < 2^i`; bucket 0 holds zero-cycle waits).
 pub const HIST_BUCKETS: usize = 40;
@@ -81,6 +87,78 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// The kind of a dependency edge — the provenance of one stall interval on
+/// a processor's timeline. *Cross* kinds (lock handoffs, barrier releases,
+/// the final settle) name the remote processor whose progress enabled this
+/// one to resume; *intrinsic* kinds (page fetches, diffs, remote misses)
+/// are protocol service intervals whose `src` is provenance only (the
+/// server is a node resource, not a processor timeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Lock handoff: the releaser's unlock enabled this acquire.
+    LockHandoff { lock: u64 },
+    /// Barrier release: the last arriver enabled this exit.
+    BarrierRelease { barrier: u64 },
+    /// End-of-run settle at `stop_timing`: the overall straggler enabled
+    /// everyone else's final clock.
+    Settle,
+    /// Remote page fetch service (SVM platforms). `page` is the byte base
+    /// address, `bytes` the wire traffic.
+    PageFetch { page: u64, bytes: u64 },
+    /// Diff creation/application work charged at interval close (SVM).
+    Diff { page: u64 },
+    /// Remote miss service (directory CC-NUMA, or any bus-serviced miss on
+    /// SMP). `line` is the byte base address.
+    RemoteMiss { line: u64 },
+}
+
+impl DepKind {
+    /// True for edges whose `src`/`src_ts` name an enabling point on
+    /// another processor's timeline (see [`DepKind`]).
+    pub fn is_cross(&self) -> bool {
+        matches!(
+            self,
+            DepKind::LockHandoff { .. } | DepKind::BarrierRelease { .. } | DepKind::Settle
+        )
+    }
+}
+
+/// One dependency edge: processor `dst` was stalled over `(t0, t1]` of its
+/// own timeline, and (for cross kinds) could not have resumed before
+/// `src_ts` on processor `src`'s timeline. Edges with `t1 <= t0` are never
+/// recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// What kind of dependence this is.
+    pub kind: DepKind,
+    /// The stalled (resuming) processor.
+    pub dst: usize,
+    /// Start of the stall on `dst`'s timeline (virtual cycles).
+    pub t0: u64,
+    /// End of the stall on `dst`'s timeline (resume point).
+    pub t1: u64,
+    /// The enabling processor (cross kinds) or serving node's proc-0
+    /// (intrinsic kinds, provenance only).
+    pub src: usize,
+    /// The enabling instant on `src`'s timeline (cross kinds).
+    pub src_ts: u64,
+    /// Global emission sequence number (deterministic tie-breaker).
+    pub seq: u64,
+}
+
+/// One labeled allocation span in the simulated address space (byte
+/// addresses, inclusive), snapshotted from the global allocator so post-hoc
+/// analysis can attribute page/line addresses to data structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSpan {
+    /// First byte of the span.
+    pub first: u64,
+    /// Last byte of the span (inclusive).
+    pub last: u64,
+    /// The allocation label ("" when the app gave none).
+    pub label: &'static str,
+}
+
 /// Log2-bucketed wait-latency histogram.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WaitHist {
@@ -108,7 +186,7 @@ impl WaitHist {
         let idx = (64 - cycles.leading_zeros() as usize).min(HIST_BUCKETS - 1);
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += cycles;
+        self.sum = self.sum.saturating_add(cycles);
         self.max = self.max.max(cycles);
     }
 
@@ -168,14 +246,38 @@ impl WaitHist {
         Self::bucket_bound(HIST_BUCKETS - 1)
     }
 
-    /// Fold another histogram into this one.
+    /// Fold another histogram into this one (the populations need not
+    /// match: counts and sums add, the max is the max of the two).
     pub fn merge(&mut self, other: &WaitHist) {
         for i in 0..HIST_BUCKETS {
             self.buckets[i] += other.buckets[i];
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// Machine-readable JSON object: count/sum/max/mean plus the non-empty
+    /// buckets as `[bit_length, count]` pairs (shared by `figures trace
+    /// --json` and `figures critpath --json`).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b > 0 {
+                if !buckets.is_empty() {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "[{i},{b}]");
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.1},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            buckets
+        )
     }
 
     /// One-line summary, e.g. `n=12 mean=4032 p50~4096 max=8122`.
@@ -224,6 +326,10 @@ pub struct TraceSink {
     cap: usize,
     seq: u64,
     procs: Vec<SinkProc>,
+    edge_cap: usize,
+    eseq: u64,
+    edges: Vec<DepEdge>,
+    edges_dropped: u64,
 }
 
 #[derive(Debug)]
@@ -240,8 +346,9 @@ pub type TraceHandle = Arc<Mutex<TraceSink>>;
 
 impl TraceSink {
     /// Create a sink for `nprocs` processors with a per-proc event cap of
-    /// `cap` (buffers are allocated once, up front).
-    pub fn new(nprocs: usize, cap: usize) -> Self {
+    /// `cap` (buffers are allocated once, up front) and a run-wide
+    /// dependency-edge cap of `edge_cap` (that buffer grows on demand).
+    pub fn new(nprocs: usize, cap: usize, edge_cap: usize) -> Self {
         Self {
             cap,
             seq: 0,
@@ -254,6 +361,10 @@ impl TraceSink {
                     barrier: WaitHist::default(),
                 })
                 .collect(),
+            edge_cap,
+            eseq: 0,
+            edges: Vec::new(),
+            edges_dropped: 0,
         }
     }
 
@@ -268,6 +379,38 @@ impl TraceSink {
             p.events.push(Event { ts, seq, kind });
         } else {
             p.dropped += 1;
+        }
+    }
+
+    /// Record a dependency edge (counted as dropped past the edge cap;
+    /// edges with `t1 <= t0` are silently skipped — no stall, no edge).
+    #[inline]
+    pub fn push_edge(
+        &mut self,
+        kind: DepKind,
+        dst: usize,
+        t0: u64,
+        t1: u64,
+        src: usize,
+        src_ts: u64,
+    ) {
+        if t1 <= t0 {
+            return;
+        }
+        let seq = self.eseq;
+        self.eseq += 1;
+        if self.edges.len() < self.edge_cap {
+            self.edges.push(DepEdge {
+                kind,
+                dst,
+                t0,
+                t1,
+                src,
+                src_ts,
+                seq,
+            });
+        } else {
+            self.edges_dropped += 1;
         }
     }
 
@@ -300,14 +443,30 @@ impl TraceSink {
             p.lock = WaitHist::default();
             p.barrier = WaitHist::default();
         }
+        self.eseq = 0;
+        self.edges.clear();
+        self.edges_dropped = 0;
     }
 
     /// Freeze into a [`RunTrace`]. `clocks` are the final per-proc virtual
-    /// clocks (used to close the per-proc track).
-    pub fn into_trace(self, label: String, phase_names: Vec<String>, clocks: &[u64]) -> RunTrace {
+    /// clocks (used to close the per-proc track); `allocs` is the labeled
+    /// allocation-span snapshot for address attribution.
+    pub fn into_trace(
+        mut self,
+        label: String,
+        phase_names: Vec<String>,
+        clocks: &[u64],
+        allocs: Vec<AllocSpan>,
+    ) -> RunTrace {
+        // Edges arrive in emission order; (t1, seq) sorting gives the
+        // deterministic resume-time order the critical-path DP needs.
+        self.edges.sort_by_key(|e| (e.t1, e.seq));
         RunTrace {
             label,
             phase_names,
+            edges: self.edges,
+            edges_dropped: self.edges_dropped,
+            allocs,
             procs: self
                 .procs
                 .into_iter()
@@ -355,6 +514,27 @@ pub fn sample_fetch(tr: &Option<TraceHandle>, timing_on: bool, pid: usize, cycle
     }
 }
 
+/// Convenience dependency-edge emitter for platform code (same gating as
+/// [`emit`]; zero-length edges are skipped by the sink).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn emit_edge(
+    tr: &Option<TraceHandle>,
+    timing_on: bool,
+    kind: DepKind,
+    dst: usize,
+    t0: u64,
+    t1: u64,
+    src: usize,
+    src_ts: u64,
+) {
+    if timing_on && t1 > t0 {
+        if let Some(h) = tr {
+            h.lock().unwrap().push_edge(kind, dst, t0, t1, src, src_ts);
+        }
+    }
+}
+
 /// The finished event trace of one simulated processor.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcTrace {
@@ -383,6 +563,14 @@ pub struct RunTrace {
     pub phase_names: Vec<String>,
     /// Per-processor traces, indexed by pid.
     pub procs: Vec<ProcTrace>,
+    /// Dependency edges in (resume time, seq) order — the provenance the
+    /// critical-path analyzer ([`crate::critpath`]) walks.
+    pub edges: Vec<DepEdge>,
+    /// Edges discarded because the run-wide edge cap was reached.
+    pub edges_dropped: u64,
+    /// Labeled allocation spans (sorted by first byte) for attributing
+    /// page/line addresses to data structures.
+    pub allocs: Vec<AllocSpan>,
 }
 
 impl RunTrace {
@@ -407,6 +595,17 @@ impl RunTrace {
     /// End of the run in virtual cycles (max per-proc clock).
     pub fn end(&self) -> u64 {
         self.procs.iter().map(|p| p.end).max().unwrap_or(0)
+    }
+
+    /// The allocation label covering byte address `addr`, or `""` when the
+    /// address falls outside every labeled span.
+    pub fn label_of(&self, addr: u64) -> &'static str {
+        let i = self.allocs.partition_point(|s| s.first <= addr);
+        if i > 0 && addr <= self.allocs[i - 1].last {
+            self.allocs[i - 1].label
+        } else {
+            ""
+        }
     }
 
     /// Merged wait histograms across processors:
@@ -835,13 +1034,108 @@ mod tests {
     }
 
     #[test]
+    fn hist_edge_cases() {
+        // Quantiles and mean on an empty histogram are all zero.
+        let h = WaitHist::default();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0.0,\"buckets\":[]}"
+        );
+
+        // bucket_bound is monotone, strictly so below the u64 saturation
+        // point, and saturates instead of overflowing past it.
+        for i in 1..HIST_BUCKETS {
+            assert!(WaitHist::bucket_bound(i) >= WaitHist::bucket_bound(i - 1));
+            if i < 63 {
+                assert!(WaitHist::bucket_bound(i) > WaitHist::bucket_bound(i - 1));
+            }
+        }
+        assert_eq!(WaitHist::bucket_bound(63), 1u64 << 63);
+        assert_eq!(WaitHist::bucket_bound(100), 1u64 << 63);
+
+        // Merge with mismatched populations: counts and sums add, max is
+        // the max of the two, and merging an empty histogram is identity.
+        let mut a = WaitHist::default();
+        a.record(5);
+        a.record(7);
+        a.record(100);
+        let mut b = WaitHist::default();
+        b.record(0);
+        b.merge(&a);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.sum(), 112);
+        assert_eq!(b.max(), 100);
+        let before = a.clone();
+        a.merge(&WaitHist::default());
+        assert_eq!(a, before);
+
+        // Saturating counts: huge samples clamp the sum at u64::MAX
+        // instead of overflowing; max and mean stay meaningful.
+        let mut s = WaitHist::default();
+        s.record(u64::MAX);
+        s.record(u64::MAX);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), u64::MAX);
+        assert_eq!(s.max(), u64::MAX);
+        assert!(s.mean() > 0.0);
+        assert_eq!(s.bucket(HIST_BUCKETS - 1), 2);
+    }
+
+    #[test]
+    fn sink_records_and_caps_edges() {
+        let mut s = TraceSink::new(2, 8, 2);
+        // Zero-length edges are skipped outright.
+        s.push_edge(DepKind::Settle, 0, 5, 5, 1, 5);
+        s.push_edge(DepKind::LockHandoff { lock: 1 }, 1, 4, 9, 0, 8);
+        s.push_edge(DepKind::PageFetch { page: 0, bytes: 64 }, 0, 1, 3, 1, 1);
+        // Past the cap: counted, not stored.
+        s.push_edge(DepKind::Diff { page: 0 }, 0, 10, 12, 0, 10);
+        let tr = s.into_trace("t".into(), vec![], &[12, 12], vec![]);
+        assert_eq!(tr.edges.len(), 2);
+        assert_eq!(tr.edges_dropped, 1);
+        // Sorted by resume time, not emission order.
+        assert_eq!(tr.edges[0].t1, 3);
+        assert_eq!(tr.edges[1].t1, 9);
+        assert!(tr.edges[0].kind == DepKind::PageFetch { page: 0, bytes: 64 });
+        assert!(tr.edges[1].kind.is_cross());
+        assert!(!tr.edges[0].kind.is_cross());
+    }
+
+    #[test]
+    fn alloc_labels_resolve_by_address() {
+        let s = TraceSink::new(1, 8, 8);
+        let allocs = vec![
+            AllocSpan {
+                first: 0x1000,
+                last: 0x1fff,
+                label: "psi",
+            },
+            AllocSpan {
+                first: 0x4000,
+                last: 0x5fff,
+                label: "work",
+            },
+        ];
+        let tr = s.into_trace("t".into(), vec![], &[0], allocs);
+        assert_eq!(tr.label_of(0x1000), "psi");
+        assert_eq!(tr.label_of(0x1fff), "psi");
+        assert_eq!(tr.label_of(0x2000), "");
+        assert_eq!(tr.label_of(0x4abc), "work");
+        assert_eq!(tr.label_of(0x0), "");
+    }
+
+    #[test]
     fn sink_caps_and_counts_drops() {
-        let mut s = TraceSink::new(2, 3);
+        let mut s = TraceSink::new(2, 3, DEFAULT_EDGE_CAP);
         for i in 0..5 {
             s.push(0, i, EventKind::DiffCreated { page: i });
         }
         s.push(1, 9, EventKind::DiffApplied { page: 9 });
-        let tr = s.into_trace("t".into(), vec![], &[10, 10]);
+        let tr = s.into_trace("t".into(), vec![], &[10, 10], vec![]);
         assert_eq!(tr.procs[0].events.len(), 3);
         assert_eq!(tr.procs[0].dropped, 2);
         assert_eq!(tr.procs[1].events.len(), 1);
@@ -852,14 +1146,14 @@ mod tests {
 
     #[test]
     fn chrome_json_shape() {
-        let mut s = TraceSink::new(2, 64);
+        let mut s = TraceSink::new(2, 64, DEFAULT_EDGE_CAP);
         s.push(0, 0, EventKind::PhaseBegin { phase: 0 });
         s.push(0, 5, EventKind::LockAcquireStart { lock: 1 });
         s.push(0, 9, EventKind::LockAcquireGranted { lock: 1 });
         s.push(0, 20, EventKind::LockRelease { lock: 1 });
         s.push(1, 22, EventKind::LockAcquireGranted { lock: 1 });
         s.push(0, 30, EventKind::PhaseEnd { phase: 0 });
-        let tr = s.into_trace("unit \"q\"".into(), vec!["init".into()], &[30, 30]);
+        let tr = s.into_trace("unit \"q\"".into(), vec!["init".into()], &[30, 30], vec![]);
         let json = tr.to_chrome_json();
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"ph\":\"X\""));

@@ -134,9 +134,11 @@ impl SmpPlatform {
         let pid = t.pid;
         let ent = *self.snoop.entry(line).or_default();
         let mut stall;
+        let mut src = pid;
         if let Some(owner) = ent.owner {
             let owner = owner as usize;
             if owner != pid {
+                src = owner;
                 // Cache-to-cache: one line transfer on the bus. The closest
                 // thing a snooping bus has to a "remote" miss — trace it
                 // with the supplying cache as the home.
@@ -187,6 +189,19 @@ impl SmpPlatform {
         t.stats.counters.bytes_transferred += self.cfg.l2.line;
         // Every bus-serviced miss is a data-latency sample on this platform.
         sim_core::trace::sample_fetch(&self.trace, t.timing_on, t.pid, stall);
+        // Critical-path provenance: the caller charges `stall` from `now`,
+        // so the service interval is (now, now + stall]; the supplying
+        // cache (if any) is the serving side, otherwise memory (self).
+        sim_core::trace::emit_edge(
+            &self.trace,
+            t.timing_on,
+            sim_core::DepKind::RemoteMiss { line },
+            pid,
+            *t.now,
+            *t.now + stall,
+            src,
+            *t.now,
+        );
         stall
     }
 

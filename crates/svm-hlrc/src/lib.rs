@@ -228,6 +228,22 @@ impl SvmPlatform {
             },
         );
         sim_core::trace::sample_fetch(&self.trace, t.timing_on, t.pid, *t.now - t0);
+        // Critical-path provenance: the fetch stalled `t.pid` over
+        // (t0, now]; the serving side is the home node (its first proc
+        // stands in for the node in the edge record).
+        sim_core::trace::emit_edge(
+            &self.trace,
+            t.timing_on,
+            sim_core::DepKind::PageFetch {
+                page: page << self.page_shift,
+                bytes: wire,
+            },
+            t.pid,
+            t0,
+            *t.now,
+            home * self.cfg.procs_per_node,
+            t0,
+        );
         // State: install a read-only copy of the home frame.
         let entry = PageEntry::copy_of(&self.nodes[home].pages[&page].frame);
         self.nodes[nd].pages.insert(page, entry);
@@ -432,8 +448,23 @@ impl SvmPlatform {
             if still_dirty {
                 let home =
                     t.placement.home_of(page << self.page_shift, t.pid) / self.cfg.procs_per_node;
+                let diff_t0 = *t.now;
                 let (local, applied, bytes) = self.flush_page(nd, page, home, *t.now, t.timing_on);
                 t.charge(Bucket::HandlerCompute, local);
+                // Critical-path provenance: the flusher spent (diff_t0, now]
+                // creating this page's diff.
+                sim_core::trace::emit_edge(
+                    &self.trace,
+                    t.timing_on,
+                    sim_core::DepKind::Diff {
+                        page: page << self.page_shift,
+                    },
+                    t.pid,
+                    diff_t0,
+                    *t.now,
+                    t.pid,
+                    diff_t0,
+                );
                 all_applied = all_applied.max(applied);
                 t.stats.counters.bytes_transferred += bytes;
                 if nd != home {
