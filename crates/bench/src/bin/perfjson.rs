@@ -27,6 +27,15 @@
 //! post-hoc host work whose reconstructed path length must equal the
 //! end-to-end virtual time; the JSON records the analysis cost.
 //!
+//! Every main cell is additionally re-timed on the sharded generate/replay
+//! engine (`with_shards(4)`): the sharded `RunStats` are asserted
+//! bit-identical to the sequential bulk run right here in the bench, and
+//! the JSON records sequential-vs-sharded host seconds per cell plus the
+//! host's CPU count. The speedup column only means anything relative to
+//! `host_cpus`: generation runs on its own threads, so on a single-CPU
+//! host the pipeline serializes and the column reads as pure engine
+//! overhead (~1x), while multi-core hosts overlap generation with replay.
+//!
 //! ```text
 //! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
 //!     --procs N --out PATH --profile-out PATH --trace-out PATH]
@@ -42,6 +51,7 @@ struct Cell {
     platform: Platform,
     host_s_scalar: f64,
     host_s_bulk: f64,
+    host_s_shards4: f64,
     sim_cycles: u64,
 }
 
@@ -116,11 +126,24 @@ fn main() {
                 scalar, bulk,
                 "scalar and bulk RunStats diverge for {app:?} on {platform:?}"
             );
+            let t2 = Instant::now();
+            let sharded = spec.run_cfg(
+                platform,
+                nprocs,
+                scale,
+                RunConfig::new(nprocs).with_shards(4),
+            );
+            let host_s_shards4 = t2.elapsed().as_secs_f64();
+            assert_eq!(
+                bulk, sharded,
+                "sharded and sequential RunStats diverge for {app:?} on {platform:?}"
+            );
             cells.push(Cell {
                 app,
                 platform,
                 host_s_scalar,
                 host_s_bulk,
+                host_s_shards4,
                 sim_cycles: bulk.total_cycles(),
             });
         }
@@ -230,6 +253,11 @@ fn main() {
     let _ = writeln!(json, "  \"nprocs\": {nprocs},");
     let _ = writeln!(
         json,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    let _ = writeln!(
+        json,
         "  \"profiled_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
          \"host_s_plain\": {:.4}, \"host_s_profiled\": {:.4}, \
          \"profiler_overhead\": {:.2}}},",
@@ -272,18 +300,22 @@ fn main() {
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let speedup = c.host_s_scalar / c.host_s_bulk.max(1e-12);
+        let shard_speedup = c.host_s_bulk / c.host_s_shards4.max(1e-12);
         let cps = c.sim_cycles as f64 / c.host_s_bulk.max(1e-12);
         let _ = write!(
             json,
             "    {{\"app\": \"{}\", \"platform\": \"{}\", \
              \"host_s_scalar\": {:.4}, \"host_s_bulk\": {:.4}, \
-             \"bulk_speedup\": {:.2}, \"sim_cycles\": {}, \
+             \"bulk_speedup\": {:.2}, \"host_s_shards4\": {:.4}, \
+             \"shard_speedup\": {:.2}, \"sim_cycles\": {}, \
              \"sim_cycles_per_host_s\": {:.0}}}",
             c.app.name(),
             c.platform.name(),
             c.host_s_scalar,
             c.host_s_bulk,
             speedup,
+            c.host_s_shards4,
+            shard_speedup,
             c.sim_cycles,
             cps
         );

@@ -304,6 +304,12 @@ impl Platform for DsmPlatform {
         self.cfg.nprocs
     }
 
+    fn min_cross_node_latency(&self) -> Option<u64> {
+        // The cheapest cross-processor interaction crosses the network
+        // once and touches the directory at the home.
+        Some(self.cfg.hop + self.cfg.dir_occupancy)
+    }
+
     fn load(&mut self, t: &mut Timing, addr: Addr, len: u8) -> u64 {
         self.access(t, addr, false);
         self.mem.load(addr, len)

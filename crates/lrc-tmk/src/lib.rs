@@ -548,6 +548,12 @@ impl Platform for TmkPlatform {
         self.cfg.nprocs
     }
 
+    fn min_cross_node_latency(&self) -> Option<u64> {
+        // TreadMarks-style LRC: uniprocessor nodes, so the cheapest
+        // cross-processor interaction is one message over the wire.
+        Some(self.cfg.wire_latency)
+    }
+
     fn load(&mut self, t: &mut Timing, addr: Addr, len: u8) -> u64 {
         self.apply_debt(t);
         t.stats.counters.accesses += 1;

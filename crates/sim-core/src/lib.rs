@@ -48,6 +48,7 @@ pub mod mem;
 pub mod platform;
 pub mod resource;
 pub mod sched;
+pub mod shard;
 pub mod sharing;
 pub mod stats;
 pub mod trace;

@@ -21,6 +21,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use crate::alloc::{GlobalAlloc, Placement};
 use crate::detector::RaceDetector;
 use crate::platform::{Platform, Timing};
+use crate::shard::{Desc, Reply};
 use crate::stats::{Bucket, ProcStats, RunStats};
 use crate::util::FxMap;
 use crate::Addr;
@@ -67,6 +68,16 @@ pub struct RunConfig {
     /// of "phase 3"); indexed by phase id, may be shorter than the number of
     /// phases used.
     pub phase_names: Vec<String>,
+    /// Host parallelism for the run. `1` (the default) selects the classic
+    /// sequential engine — the oracle. `n > 1` selects the pipelined
+    /// generate/replay engine (see [`crate::shard`]) with up to `n`
+    /// application threads generating concurrently; the resulting
+    /// [`RunStats`] are bit-identical to `shards = 1` for data-race-free
+    /// programs (asserted by `tests/shard_equivalence.rs`). Platforms that
+    /// do not report a [`Platform::min_cross_node_latency`] fall back to
+    /// the classic engine. Defaults to the `SIM_SHARDS` environment
+    /// variable when set.
+    pub shards: usize,
 }
 
 impl RunConfig {
@@ -83,7 +94,21 @@ impl RunConfig {
             trace_cap: crate::trace::DEFAULT_EVENT_CAP,
             edge_cap: crate::trace::DEFAULT_EDGE_CAP,
             phase_names: Vec::new(),
+            shards: std::env::var("SIM_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or(1),
         }
+    }
+
+    /// Select the engine: `1` = the classic sequential scheduler (exact
+    /// current behaviour, and the oracle the differential tests compare
+    /// against); `n > 1` = the pipelined parallel engine with up to `n`
+    /// concurrently generating application threads.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
     }
 
     /// Disable the bulk fast path: every slice operation degrades to the
@@ -306,7 +331,16 @@ pub struct Proc {
     pid: usize,
     nprocs: usize,
     bulk: bool,
-    shared: Arc<Shared>,
+    backend: Backend,
+}
+
+/// What a [`Proc`] handle is attached to: the classic scheduler (both the
+/// sequential engine and the replay half of the sharded engine), or a
+/// generation context of the sharded engine (see [`crate::shard`]), which
+/// records the operation stream instead of simulating it.
+enum Backend {
+    Classic(Arc<Shared>),
+    Gen(Box<crate::shard::GenCtx>),
 }
 
 /// Chunk size (words) for the slice convenience wrappers: big enough to
@@ -314,6 +348,26 @@ pub struct Proc {
 const SLICE_CHUNK: usize = 1024;
 
 impl Proc {
+    /// The classic scheduler state. Reachable only from methods (or arms)
+    /// that are never entered in generation mode.
+    #[inline(always)]
+    fn shared(&self) -> &Arc<Shared> {
+        match &self.backend {
+            Backend::Classic(s) => s,
+            Backend::Gen(_) => unreachable!("generation-mode Proc has no scheduler"),
+        }
+    }
+
+    /// The generation context, if this handle is a sharded-engine
+    /// generation front-end.
+    #[inline(always)]
+    fn gen(&mut self) -> Option<&mut crate::shard::GenCtx> {
+        match &mut self.backend {
+            Backend::Gen(ctx) => Some(ctx),
+            Backend::Classic(_) => None,
+        }
+    }
+
     /// This processor's id (0-based).
     #[inline(always)]
     pub fn pid(&self) -> usize {
@@ -329,7 +383,15 @@ impl Proc {
     /// Charge `cycles` of application compute time.
     #[inline]
     pub fn work(&mut self, cycles: u64) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            // With timing off this is a complete no-op in the classic
+            // engine, so nothing needs replaying.
+            if ctx.timing {
+                ctx.emit(Desc::Work(cycles));
+            }
+            return;
+        }
+        let mut g = self.shared().lock();
         if !g.timing_on {
             // Clocks stay mutually equal while timing is off (nothing
             // advances them), so `maybe_yield` could never fire — skip its
@@ -347,7 +409,11 @@ impl Proc {
     /// off still record it — but a no-op change returns without touching
     /// the statistics.
     pub fn set_phase(&mut self, phase: usize) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.emit(Desc::SetPhase(phase));
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let old = g.stats[pid].phase();
         if old != phase {
@@ -375,7 +441,20 @@ impl Proc {
         align: u64,
         placement: Placement,
     ) -> Addr {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            // Round trip: bump addresses depend on allocation order, which
+            // only replay (running the classic scheduler) can decide.
+            match ctx.roundtrip(Desc::Alloc {
+                label,
+                bytes,
+                align,
+                placement,
+            }) {
+                Reply::Addr(a) => return a,
+                Reply::Sync => unreachable!("alloc answered without an address"),
+            }
+        }
+        let mut g = self.shared().lock();
         g.alloc
             .alloc_labeled(label, bytes, align, placement, self.pid)
     }
@@ -383,7 +462,11 @@ impl Proc {
     /// Load `len` (1/2/4/8) bytes from the simulated shared address space.
     #[inline]
     pub fn load(&mut self, addr: Addr, len: u8) -> u64 {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.emit(Desc::Load { addr, len });
+            return ctx.plane.load(addr, len);
+        }
+        let mut g = self.shared().lock();
         let inner = &mut *g;
         let v = {
             let mut t = Timing {
@@ -405,7 +488,12 @@ impl Proc {
     /// Store the low `len` bytes of `val` to the simulated address space.
     #[inline]
     pub fn store(&mut self, addr: Addr, len: u8, val: u64) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.plane.store(addr, len, val);
+            ctx.emit(Desc::Store { addr, len, val });
+            return;
+        }
+        let mut g = self.shared().lock();
         let inner = &mut *g;
         {
             let mut t = Timing {
@@ -458,6 +546,19 @@ impl Proc {
 
     /// Load `out.len()` values of `len` bytes each from `addr + i*stride`.
     pub fn load_slice(&mut self, addr: Addr, stride: u64, len: u8, out: &mut [u64]) {
+        if let Some(ctx) = self.gen() {
+            // One descriptor regardless of `bulk`: the replay interpreter's
+            // own `load_slice` call degrades to the scalar path when the
+            // run is configured scalar.
+            ctx.emit(Desc::LoadSlice {
+                addr,
+                stride,
+                len,
+                n: out.len(),
+            });
+            ctx.plane.load_slice(addr, stride, len, out);
+            return;
+        }
         if !self.bulk {
             for (i, slot) in out.iter_mut().enumerate() {
                 *slot = self.load(addr + i as u64 * stride, len);
@@ -466,7 +567,7 @@ impl Proc {
         }
         let mut done = 0;
         while done < out.len() {
-            let mut g = self.shared.lock();
+            let mut g = self.shared().lock();
             let inner = &mut *g;
             let budget = inner.yield_budget();
             let base = addr + done as u64 * stride;
@@ -493,6 +594,16 @@ impl Proc {
 
     /// Store `vals[i]` (`len` bytes each) to `addr + i*stride`.
     pub fn store_slice(&mut self, addr: Addr, stride: u64, len: u8, vals: &[u64]) {
+        if let Some(ctx) = self.gen() {
+            ctx.plane.store_slice(addr, stride, len, vals);
+            ctx.emit(Desc::StoreSlice {
+                addr,
+                stride,
+                len,
+                vals: vals.to_vec(),
+            });
+            return;
+        }
         if !self.bulk {
             for (i, &v) in vals.iter().enumerate() {
                 self.store(addr + i as u64 * stride, len, v);
@@ -501,7 +612,7 @@ impl Proc {
         }
         let mut done = 0;
         while done < vals.len() {
-            let mut g = self.shared.lock();
+            let mut g = self.shared().lock();
             let inner = &mut *g;
             let budget = inner.yield_budget();
             let base = addr + done as u64 * stride;
@@ -599,6 +710,12 @@ impl Proc {
     /// (e.g. one flop-pair per word streamed), entering the scheduler once
     /// per yield budget instead of once per element.
     pub fn work_fused(&mut self, per_elem: u64, count: u64) {
+        if let Some(ctx) = self.gen() {
+            if ctx.timing {
+                ctx.emit(Desc::WorkFused { per_elem, count });
+            }
+            return;
+        }
         if !self.bulk {
             for _ in 0..count {
                 self.work(per_elem);
@@ -607,7 +724,7 @@ impl Proc {
         }
         let mut left = count;
         while left > 0 {
-            let mut g = self.shared.lock();
+            let mut g = self.shared().lock();
             if !g.timing_on {
                 return; // as in `work`: nothing to charge, nothing can yield
             }
@@ -635,7 +752,16 @@ impl Proc {
 
     /// Acquire lock `id` (blocking in virtual time).
     pub fn lock(&mut self, id: u32) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            // Round trip: the reply arrives only after replay granted this
+            // processor the lock, so generation threads enter overlapping
+            // critical sections in replay's (virtual-arrival) grant order —
+            // the happens-before edge that makes value-plane reads, and
+            // hence the streams themselves, deterministic.
+            ctx.roundtrip(Desc::Lock(id));
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let inner = &mut *g;
         inner.stats[pid].counters.lock_acquires += 1;
@@ -708,7 +834,14 @@ impl Proc {
 
     /// Release lock `id`, granting it to the earliest-arrived waiter if any.
     pub fn unlock(&mut self, id: u32) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            // Fire-and-forget: the next acquirer's reply cannot arrive
+            // until replay has consumed this release, so the critical
+            // section's plane writes are visible to it on the host.
+            ctx.emit(Desc::Unlock(id));
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let inner = &mut *g;
         let avail = {
@@ -791,7 +924,11 @@ impl Proc {
 
     /// Wait at barrier `id` until all processors arrive.
     pub fn barrier(&mut self, id: u32) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.roundtrip(Desc::Barrier(id));
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         let inner = &mut *g;
@@ -877,7 +1014,12 @@ impl Proc {
     /// platform resource state: the start of the timed region. Protocol and
     /// cache *state* is preserved (warm start, as in the paper).
     pub fn start_timing(&mut self) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.roundtrip(Desc::StartTiming);
+            ctx.timing = true;
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         g.start_arrivals += 1;
@@ -916,7 +1058,12 @@ impl Proc {
     /// of the timed region. Use before reading results out of simulated
     /// memory so the extraction does not pollute the measurements.
     pub fn stop_timing(&mut self) {
-        let mut g = self.shared.lock();
+        if let Some(ctx) = self.gen() {
+            ctx.roundtrip(Desc::StopTiming);
+            ctx.timing = false;
+            return;
+        }
+        let mut g = self.shared().lock();
         let pid = self.pid;
         let nprocs = self.nprocs;
         g.stop_arrivals += 1;
@@ -967,12 +1114,27 @@ impl Proc {
 
     /// True while the timed region is active.
     pub fn timing_on(&self) -> bool {
-        self.shared.lock().timing_on
+        match &self.backend {
+            // The generation-side mirror: exact, because timing only
+            // toggles at all-processor rendezvous this thread round-trips.
+            Backend::Gen(ctx) => ctx.timing,
+            Backend::Classic(_) => self.shared().lock().timing_on,
+        }
     }
 
     /// Current virtual clock (cycles).
+    ///
+    /// # Panics
+    /// Under the sharded engine (`with_shards(n > 1)`): virtual time exists
+    /// only on the replay side, after this thread's operations ran.
     pub fn now(&self) -> u64 {
-        self.shared.lock().clocks[self.pid]
+        match &self.backend {
+            Backend::Gen(_) => panic!(
+                "Proc::now is not available under the sharded engine \
+                 (virtual time is computed by replay, behind this thread)"
+            ),
+            Backend::Classic(_) => self.shared().lock().clocks[self.pid],
+        }
     }
 
     // ---- scheduling internals ----
@@ -987,7 +1149,7 @@ impl Proc {
             if g.clocks[pid] > clk + quantum {
                 g.status[pid] = Status::Ready;
                 g.status[next] = Status::Running;
-                self.shared.cvs[next].notify_one();
+                self.shared().cvs[next].notify_one();
                 self.wait_for_turn(g);
                 return;
             }
@@ -1008,7 +1170,7 @@ impl Proc {
     fn dispatch_next(&self, g: &mut MutexGuard<'_, Inner>) {
         if let Some((next, _)) = g.min_ready() {
             g.status[next] = Status::Running;
-            self.shared.cvs[next].notify_one();
+            self.shared().cvs[next].notify_one();
         } else if g.ndone < g.status.len() {
             let all_done_or_blocked = g
                 .status
@@ -1020,7 +1182,7 @@ impl Proc {
                     g.describe()
                 );
                 g.poisoned = Some(msg.clone());
-                for cv in &self.shared.cvs {
+                for cv in &self.shared().cvs {
                     cv.notify_one();
                 }
                 panic!("{msg}");
@@ -1040,7 +1202,7 @@ impl Proc {
             if g.status[pid] == Status::Running {
                 return;
             }
-            g = self.shared.cvs[pid]
+            g = self.shared().cvs[pid]
                 .wait(g)
                 .unwrap_or_else(PoisonError::into_inner);
         }
@@ -1048,7 +1210,7 @@ impl Proc {
 
     /// Called when the body returns: mark Done and dispatch.
     fn finish(&self) {
-        let mut g = self.shared.lock();
+        let mut g = self.shared().lock();
         let pid = self.pid;
         g.status[pid] = Status::Done;
         g.ndone += 1;
@@ -1078,6 +1240,28 @@ where
 /// Like [`run`], but also returns the platform's diagnostic report (see
 /// [`Platform::profile`]) gathered at the end of the run.
 pub fn run_profiled<F>(
+    platform: Box<dyn Platform>,
+    cfg: RunConfig,
+    body: F,
+) -> (RunStats, Option<String>)
+where
+    F: Fn(&mut Proc) + Sync,
+{
+    // The sharded engine requires the platform to certify (via the
+    // min-cross-node-latency hook) that all cross-processor interactions
+    // are mediated by replayed protocol actions; platforms that do not
+    // fall back to the classic engine.
+    if cfg.shards > 1 && platform.min_cross_node_latency().is_some() {
+        run_sharded_profiled(platform, cfg, body)
+    } else {
+        run_classic_profiled(platform, cfg, body)
+    }
+}
+
+/// The classic engine: one OS thread per simulated processor, exactly one
+/// running at a time, every simulated event priced inline. Both the
+/// `shards = 1` oracle and the replay half of the sharded engine.
+fn run_classic_profiled<F>(
     platform: Box<dyn Platform>,
     cfg: RunConfig,
     body: F,
@@ -1144,11 +1328,11 @@ where
                             pid,
                             nprocs,
                             bulk,
-                            shared,
+                            backend: Backend::Classic(shared),
                         };
                         // Wait to be scheduled for the first time.
                         {
-                            let g = proc.shared.lock();
+                            let g = proc.shared().lock();
                             proc.wait_for_turn(g);
                         }
                         // A panic inside a simulated processor (e.g. an
@@ -1167,11 +1351,11 @@ where
                                         payload.downcast_ref::<&str>().map(|s| s.to_string())
                                     })
                                     .unwrap_or_else(|| "simulated processor panicked".into());
-                                let mut g = proc.shared.lock();
+                                let mut g = proc.shared().lock();
                                 if g.poisoned.is_none() {
                                     g.poisoned = Some(format!("p{pid}: {msg}"));
                                 }
-                                for cv in proc.shared.cvs.iter() {
+                                for cv in proc.shared().cvs.iter() {
                                     cv.notify_one();
                                 }
                                 drop(g);
@@ -1240,6 +1424,202 @@ where
         },
         profile,
     )
+}
+
+/// The sharded engine: the application bodies run concurrently on
+/// generation threads (at most `cfg.shards` executing at once) against the
+/// host-side value plane, streaming operation descriptors to the
+/// *unmodified* classic engine, whose per-processor bodies are interpreters
+/// re-issuing the identical `Proc` calls. Statistics are therefore
+/// bit-identical to `shards = 1` for data-race-free programs — see
+/// [`crate::shard`] for the full argument and `tests/shard_equivalence.rs`
+/// for the proof harness.
+fn run_sharded_profiled<F>(
+    platform: Box<dyn Platform>,
+    cfg: RunConfig,
+    body: F,
+) -> (RunStats, Option<String>)
+where
+    F: Fn(&mut Proc) + Sync,
+{
+    use crate::shard::{Gate, GenCtx, ShardAbort, ValuePlane, CHANNEL_BATCHES};
+    use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+
+    /// The interpreter-side halves of one processor's channel pair.
+    type ReplayEnd = (Receiver<Vec<Desc>>, Sender<Reply>);
+
+    let nprocs = cfg.nprocs;
+    let bulk = cfg.bulk;
+    let plane = Arc::new(ValuePlane::new());
+    let gate = Arc::new(Gate::new(cfg.shards));
+
+    // Per-processor descriptor and reply channels. The generation ends are
+    // moved into the generation threads; the replay ends sit in mutexed
+    // slots the interpreter bodies claim by pid (channel halves are `Send`
+    // but not `Sync`).
+    let mut gen_ends = Vec::with_capacity(nprocs);
+    let mut replay_ends: Vec<Mutex<Option<ReplayEnd>>> = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (desc_tx, desc_rx) = sync_channel::<Vec<Desc>>(CHANNEL_BATCHES);
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        gen_ends.push(Some((desc_tx, reply_rx)));
+        replay_ends.push(Mutex::new(Some((desc_rx, reply_tx))));
+    }
+
+    let result = std::thread::scope(|s| {
+        for (pid, end) in gen_ends.iter_mut().enumerate() {
+            let (tx, reply_rx) = end.take().expect("generation end claimed once");
+            let plane = Arc::clone(&plane);
+            let gate = Arc::clone(&gate);
+            let body = &body;
+            std::thread::Builder::new()
+                .name(format!("simgen-{pid}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(s, move || {
+                    let mut proc = Proc {
+                        pid,
+                        nprocs,
+                        bulk,
+                        backend: Backend::Gen(Box::new(GenCtx::new(plane, tx, reply_rx, gate))),
+                    };
+                    if let Some(ctx) = proc.gen() {
+                        ctx.unpark();
+                    }
+                    let r =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut proc)));
+                    let Some(ctx) = proc.gen() else {
+                        unreachable!()
+                    };
+                    // Never block on the channel while holding a gate
+                    // permit (the final flush may hit backpressure).
+                    ctx.park();
+                    match r {
+                        Ok(()) => {}
+                        Err(payload) => {
+                            if payload.downcast_ref::<ShardAbort>().is_some() {
+                                // Replay terminated first (normally or by
+                                // poison); nothing left to report.
+                                return;
+                            }
+                            // A real application panic: forward it so replay
+                            // re-raises it through the classic poison
+                            // protocol, producing the same outer panic a
+                            // non-sharded run would.
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "simulated processor panicked".into());
+                            ctx.batch.push(Desc::Poison(msg));
+                        }
+                    }
+                    ctx.flush_quiet();
+                    // Dropping `tx` here closes the stream: the interpreter
+                    // returns after draining it.
+                })
+                .expect("spawn generation thread");
+        }
+
+        let slots = &replay_ends;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_classic_profiled(platform, cfg, move |p: &mut Proc| {
+                let (rx, reply_tx) = slots[p.pid()]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("interpreter body entered twice");
+                let mut scratch: Vec<u64> = Vec::new();
+                let (mut n_recvs, mut n_blocked) = (0u64, 0u64);
+                loop {
+                    let batch = match rx.try_recv() {
+                        Ok(b) => b,
+                        Err(std::sync::mpsc::TryRecvError::Empty) => {
+                            n_blocked += 1;
+                            match rx.recv() {
+                                Ok(b) => b,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
+                    };
+                    n_recvs += 1;
+                    for d in batch {
+                        match d {
+                            Desc::Work(c) => p.work(c),
+                            Desc::WorkFused { per_elem, count } => p.work_fused(per_elem, count),
+                            Desc::SetPhase(ph) => p.set_phase(ph),
+                            Desc::Alloc {
+                                label,
+                                bytes,
+                                align,
+                                placement,
+                            } => {
+                                let a = p.alloc_shared_labeled(label, bytes, align, placement);
+                                let _ = reply_tx.send(Reply::Addr(a));
+                            }
+                            Desc::Load { addr, len } => {
+                                p.load(addr, len);
+                            }
+                            Desc::Store { addr, len, val } => p.store(addr, len, val),
+                            Desc::LoadSlice {
+                                addr,
+                                stride,
+                                len,
+                                n,
+                            } => {
+                                scratch.resize(n, 0);
+                                p.load_slice(addr, stride, len, &mut scratch[..n]);
+                            }
+                            Desc::StoreSlice {
+                                addr,
+                                stride,
+                                len,
+                                vals,
+                            } => p.store_slice(addr, stride, len, &vals),
+                            Desc::Lock(id) => {
+                                p.lock(id);
+                                let _ = reply_tx.send(Reply::Sync);
+                            }
+                            Desc::Unlock(id) => p.unlock(id),
+                            Desc::Barrier(id) => {
+                                p.barrier(id);
+                                let _ = reply_tx.send(Reply::Sync);
+                            }
+                            Desc::StartTiming => {
+                                p.start_timing();
+                                let _ = reply_tx.send(Reply::Sync);
+                            }
+                            Desc::StopTiming => {
+                                p.stop_timing();
+                                let _ = reply_tx.send(Reply::Sync);
+                            }
+                            Desc::Poison(msg) => panic!("{msg}"),
+                        }
+                    }
+                }
+                if std::env::var_os("SIM_SHARD_DEBUG").is_some() {
+                    eprintln!(
+                        "[shard] p{}: {} batches, {} blocked recvs",
+                        p.pid(),
+                        n_recvs,
+                        n_blocked
+                    );
+                }
+            })
+        }));
+        // Drop any unclaimed replay ends (a poisoned run can kill a
+        // processor before its interpreter starts) so every generation
+        // thread's sends and reply-waits error out and it aborts — the
+        // scope is about to join them.
+        for slot in slots.iter() {
+            slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+        }
+        out
+    });
+    match result {
+        Ok(out) => out,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 #[cfg(test)]

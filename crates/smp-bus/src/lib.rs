@@ -271,6 +271,12 @@ impl Platform for SmpPlatform {
         self.cfg.nprocs
     }
 
+    fn min_cross_node_latency(&self) -> Option<u64> {
+        // Processors interact only through bus transactions: the cheapest
+        // is an arbitration plus an address-only (upgrade/lock) cycle.
+        Some(self.cfg.bus_arb + self.cfg.bus_addr)
+    }
+
     fn load(&mut self, t: &mut Timing, addr: Addr, len: u8) -> u64 {
         self.access(t, addr, false);
         self.mem.load(addr, len)

@@ -191,6 +191,71 @@ fn every_app_and_class_is_race_free_on_every_platform() {
     }
 }
 
+/// Sharding must not blind the detector: the seeded racy counter is still
+/// flagged when the run executes on the generate/replay engine (the op
+/// streams of these kernels are value-independent, so the access pattern
+/// the detector sees is the classic one).
+#[test]
+fn racy_kernels_are_still_flagged_under_sharding() {
+    for pf in PLATFORMS {
+        let stats = run(
+            pf.boxed(2),
+            RunConfig::new(2)
+                .with_shards(2)
+                .with_race_detection()
+                .named("counter-racy-sharded"),
+            |p| {
+                if p.pid() == 0 {
+                    let a = p.alloc_shared_labeled("counter", 8, 8, Placement::Node(0));
+                    p.store(a, 8, 0);
+                }
+                p.barrier(0);
+                let v = p.load(HEAP_BASE, 8);
+                p.work(50);
+                p.store(HEAP_BASE, 8, v + 1);
+                p.barrier(1);
+            },
+        );
+        assert!(
+            stats.races() > 0,
+            "{}: sharded engine lost the race report",
+            pf.name()
+        );
+        assert!(stats.race_summary().contains("counter-racy-sharded"));
+    }
+}
+
+/// Satellite invariance under sharding: with shards > 1, a detector-on run
+/// must be bit-identical (timed `RunStats`, race list empty) to the
+/// detector-off sharded run — the observer property holds on the parallel
+/// engine too.
+#[test]
+fn detection_is_invisible_under_sharding() {
+    for pf in PLATFORMS {
+        for app in [App::Lu, App::Ocean] {
+            let spec = AppSpec {
+                app,
+                class: OptClass::Orig,
+            };
+            let off = spec.run_cfg(pf, 4, Scale::Test, RunConfig::new(4).with_shards(4));
+            let on = spec.run_cfg(
+                pf,
+                4,
+                Scale::Test,
+                RunConfig::new(4).with_shards(4).with_race_detection(),
+            );
+            assert!(on.races.is_empty());
+            assert_eq!(
+                off,
+                on,
+                "{} on {}: detector perturbed the sharded run",
+                app.name(),
+                pf.name()
+            );
+        }
+    }
+}
+
 /// Detection must be an observer: enabling it cannot move a single cycle of
 /// virtual time or any counter.
 #[test]

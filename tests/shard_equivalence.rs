@@ -1,0 +1,238 @@
+//! Differential proof harness for the sharded (generate/replay) engine:
+//! `RunConfig::with_shards(n)` must produce **bit-identical** `RunStats` —
+//! clocks, every bucket and counter, sharing profiles, full trace event
+//! streams — to the classic sequential engine (`shards = 1`), for every
+//! application × optimization class × platform cell, for every shard
+//! count, with every diagnostic layer enabled, and across randomized
+//! platform/scheduler configuration points.
+//!
+//! The argument for *why* this holds (the replay side *is* the classic
+//! engine, consuming operation streams that are deterministic for
+//! data-race-free programs) lives in `sim_core::shard`; this file is the
+//! evidence.
+
+use apps::{App, AppSpec, OptClass};
+use sim_core::critpath::analyze;
+use sim_core::util::XorShift64;
+use sim_core::{run, Placement, RunConfig, RunStats, HEAP_BASE};
+use svm_hlrc::{SvmConfig, SvmPlatform};
+use svm_restructure::prelude::*;
+
+const PLATFORMS: [PlatformKind; 4] = [
+    PlatformKind::Svm,
+    PlatformKind::Dsm,
+    PlatformKind::Smp,
+    PlatformKind::Tmk,
+];
+
+fn cell(app: App, class: OptClass, pf: PlatformKind, cfg: RunConfig) -> RunStats {
+    AppSpec { app, class }.run_cfg(pf, cfg.nprocs, Scale::Test, cfg)
+}
+
+/// The headline acceptance criterion: the full grid — all 7 applications,
+/// all 4 optimization classes, all 4 platform models — with shards ∈
+/// {2, 4 = P}, each compared structurally against the sequential oracle.
+#[test]
+fn full_grid_is_bit_identical_across_shard_counts() {
+    for pf in PLATFORMS {
+        for app in App::ALL {
+            for class in OptClass::ALL {
+                let oracle = cell(app, class, pf, RunConfig::new(4).with_shards(1));
+                for shards in [2, 4] {
+                    let sharded = cell(app, class, pf, RunConfig::new(4).with_shards(shards));
+                    assert_eq!(
+                        oracle,
+                        sharded,
+                        "{}/{} on {}: shards={shards} diverged from the sequential oracle",
+                        app.name(),
+                        class.label(),
+                        pf.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shard counts above, at, and below the processor count on a wider run
+/// (P = 8): oversubscription and undersubscription are both just gate
+/// widths and must not be observable.
+#[test]
+fn shard_count_is_invisible_at_eight_processors() {
+    for pf in [PlatformKind::Svm, PlatformKind::Smp] {
+        for app in [App::Lu, App::Radix] {
+            let oracle = cell(
+                app,
+                OptClass::Algorithm,
+                pf,
+                RunConfig::new(8).with_shards(1),
+            );
+            for shards in [2, 8, 16] {
+                let sharded = cell(
+                    app,
+                    OptClass::Algorithm,
+                    pf,
+                    RunConfig::new(8).with_shards(shards),
+                );
+                assert_eq!(
+                    oracle,
+                    sharded,
+                    "{} on {} at P=8: shards={shards} diverged",
+                    app.name(),
+                    pf.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every diagnostic layer at once — race detector, per-page sharing
+/// profiler, full event trace — under sharding, compared field-for-field
+/// (trace event streams and sharing pages included) against the identically
+/// instrumented sequential run.
+#[test]
+fn diagnostics_laden_runs_are_bit_identical_under_sharding() {
+    let instrumented = |shards: usize| {
+        RunConfig::new(4)
+            .with_shards(shards)
+            .with_race_detection()
+            .with_sharing_profile()
+            .with_trace()
+    };
+    for pf in PLATFORMS {
+        for app in [App::Ocean, App::Barnes] {
+            let oracle = cell(app, OptClass::Orig, pf, instrumented(1));
+            let sharded = cell(app, OptClass::Orig, pf, instrumented(4));
+            assert!(
+                sharded.trace.as_ref().is_some_and(|t| t.total_events() > 0),
+                "{}: sharded run produced an empty trace",
+                pf.name()
+            );
+            assert_eq!(
+                oracle,
+                sharded,
+                "{} on {}: diagnostics diverged under sharding",
+                app.name(),
+                pf.name()
+            );
+        }
+    }
+}
+
+/// The critical-path analyzer's defining invariant (`total == end`) holds
+/// on traces recorded under sharding — the dependency-edge stream is the
+/// classic engine's, bit for bit.
+#[test]
+fn critpath_invariant_holds_on_sharded_traces() {
+    for pf in PLATFORMS {
+        let stats = cell(
+            App::Lu,
+            OptClass::Algorithm,
+            pf,
+            RunConfig::new(4).with_shards(4).with_trace(),
+        );
+        let tr = stats.trace.expect("tracing was requested");
+        let cp = analyze(&tr);
+        assert_eq!(
+            cp.total,
+            cp.end,
+            "{}: sharded trace broke the critical-path telescoping invariant",
+            pf.name()
+        );
+        assert!(cp.total > 0, "{}: degenerate critical path", pf.name());
+    }
+}
+
+/// A data-race-free stress kernel, deterministic by construction: the
+/// parameter stream is derived from the seed alone (identical on every
+/// processor and engine), indices are partitioned by pid, and the shared
+/// accumulator is consistently lock-protected.
+fn stress_body(seed: u64, words: u64, iters: u64) -> impl Fn(&mut sim_core::Proc) + Sync {
+    move |p| {
+        let mut rng = XorShift64::new(seed);
+        let n = p.nprocs() as u64;
+        let pid = p.pid() as u64;
+        let acc = HEAP_BASE + words * 8; // word index `words`, see alloc below
+        if p.pid() == 0 {
+            p.alloc_shared_labeled("stress", (words + 1) * 8, 8, Placement::RoundRobin);
+        }
+        p.barrier(0);
+        p.start_timing();
+        for it in 0..iters {
+            // Partitioned strided writes over the array body.
+            let mut i = pid;
+            while i < words {
+                p.store(HEAP_BASE + i * 8, 8, i.wrapping_mul(0x9E37) ^ it);
+                i += n;
+            }
+            p.work(rng.below(500));
+            p.barrier(10 + it as u32);
+            // Bulk-read a rotated partition (written by a neighbour, now
+            // visible across the barrier), then charge fused per-element
+            // compute for it.
+            let mut buf = vec![0u64; (words / n) as usize];
+            p.load_slice(HEAP_BASE + ((pid + 1) % n) * 8, n * 8, 8, &mut buf);
+            p.work_fused(1 + rng.below(4), buf.len() as u64);
+            // Lock-protected read-modify-write of the shared accumulator.
+            p.lock(1);
+            let v = p.load(acc, 8);
+            p.store(acc, 8, v.wrapping_add(buf.iter().sum()));
+            p.unlock(1);
+            // Occasionally clear a stripe with the bulk fill.
+            if rng.below(2) == 0 {
+                p.fill(HEAP_BASE + pid * 8, 8, 1 + words / (4 * n), 0);
+            }
+            p.barrier(100 + it as u32);
+        }
+        p.stop_timing();
+        p.barrier(999);
+    }
+}
+
+/// Seeded randomized sweep over platform and scheduler configuration
+/// points — processors per node, latencies, page sizes, quanta, trace
+/// caps — comparing sharded against sequential on the stress kernel. A
+/// failure names the seed so the point can be replayed in isolation.
+#[test]
+fn randomized_config_points_stay_bit_identical() {
+    for case in 0..12u64 {
+        let seed = 0x5AD_C0DE ^ (case << 16);
+        let mut rng = XorShift64::new(seed);
+        let nprocs = [2usize, 4, 8][rng.below(3) as usize];
+        let mut svm = SvmConfig::paper(nprocs);
+        // Random platform point.
+        svm.procs_per_node = *[1usize, 2, nprocs]
+            .iter()
+            .filter(|&&ppn| nprocs.is_multiple_of(ppn))
+            .nth(rng.below(2) as usize % 2)
+            .unwrap();
+        svm.wire_latency = 50 + rng.below(400);
+        svm.handler_cost = 100 + rng.below(500);
+        svm.fault_trap = 200 + rng.below(1500);
+        svm.page_size = 1024 << rng.below(3);
+        svm.barrier_manager_salt = rng.below(16) as u32;
+        // Random scheduler point.
+        let quantum = 100 + rng.below(4000);
+        let trace_cap = 32 + rng.below(512) as usize;
+        let words = 128 + rng.below(768);
+        let iters = 2 + rng.below(3);
+        let shards = [2usize, 4, nprocs][rng.below(3) as usize];
+        let build = |s: usize| {
+            let mut c = RunConfig::new(nprocs)
+                .with_shards(s)
+                .with_trace()
+                .with_trace_cap(trace_cap)
+                .named(format!("stress-{seed:#x}"));
+            c.quantum = quantum;
+            c
+        };
+        let body = stress_body(seed, words, iters);
+        let oracle = run(SvmPlatform::boxed(svm.clone()), build(1), &body);
+        let sharded = run(SvmPlatform::boxed(svm), build(shards), &body);
+        assert_eq!(
+            oracle, sharded,
+            "seed {seed:#x} (case {case}, nprocs={nprocs}, shards={shards}): \
+             sharded run diverged — replay with XorShift64::new({seed:#x})"
+        );
+    }
+}

@@ -158,6 +158,60 @@ fn chrome_export_is_well_formed_for_ocean_on_svm() {
 }
 
 #[test]
+fn tracing_is_invisible_under_sharding() {
+    // The trace layer must stay an observer on the generate/replay engine:
+    // a traced sharded run, trace stripped, equals the untraced sharded
+    // run — and the trace itself is the classic engine's (asserted
+    // stream-for-stream in tests/shard_equivalence.rs).
+    for pf in [
+        PlatformKind::Svm,
+        PlatformKind::Dsm,
+        PlatformKind::Smp,
+        PlatformKind::Tmk,
+    ] {
+        let plain = run_cell(pf, RunConfig::new(4).with_shards(4));
+        let mut traced = run_cell(pf, RunConfig::new(4).with_shards(4).with_trace());
+        let tr = traced.trace.take().expect("tracing was requested");
+        assert!(tr.total_events() > 0, "{pf:?}: empty sharded trace");
+        assert_eq!(traced, plain, "{pf:?}: tracing perturbed the sharded run");
+    }
+}
+
+#[test]
+fn drop_counters_are_shard_count_independent_at_equal_caps() {
+    // Audit result, pinned by regression: event and edge buffers (and
+    // their drop counters) live solely in the replay-side TraceSink — the
+    // sharded engine adds no per-shard buffers — so at equal caps the
+    // dropped totals cannot depend on the shard count.
+    let tight = |shards: usize| {
+        RunConfig::new(4)
+            .with_shards(shards)
+            .with_trace()
+            .with_trace_cap(8)
+            .with_edge_cap(4)
+    };
+    let seq = run_cell(PlatformKind::Svm, tight(1))
+        .trace
+        .expect("tracing was requested");
+    for shards in [2, 4] {
+        let shd = run_cell(PlatformKind::Svm, tight(shards))
+            .trace
+            .expect("tracing was requested");
+        assert!(seq.dropped_events() > 0, "cap of 8 should overflow");
+        assert!(seq.edges_dropped > 0, "edge cap of 4 should overflow");
+        assert_eq!(
+            seq.dropped_events(),
+            shd.dropped_events(),
+            "shards={shards}: event-drop total depends on shard count"
+        );
+        assert_eq!(
+            seq.edges_dropped, shd.edges_dropped,
+            "shards={shards}: edge-drop total depends on shard count"
+        );
+    }
+}
+
+#[test]
 fn trace_cap_drops_events_without_perturbing_the_run() {
     let plain = run_cell(PlatformKind::Svm, RunConfig::new(4));
     let mut traced = run_cell(
