@@ -28,13 +28,21 @@
 //! end-to-end virtual time; the JSON records the analysis cost.
 //!
 //! Every main cell is additionally re-timed on the sharded generate/replay
-//! engine (`with_shards(4)`): the sharded `RunStats` are asserted
-//! bit-identical to the sequential bulk run right here in the bench, and
-//! the JSON records sequential-vs-sharded host seconds per cell plus the
-//! host's CPU count. The speedup column only means anything relative to
-//! `host_cpus`: generation runs on its own threads, so on a single-CPU
-//! host the pipeline serializes and the column reads as pure engine
-//! overhead (~1x), while multi-core hosts overlap generation with replay.
+//! engine (`with_shards(4)`), twice: once with the classic thread-per-
+//! processor replay side and once with the fused single-threaded
+//! event-loop replay engine (the default). Both sharded `RunStats` are
+//! asserted bit-identical to the sequential bulk run right here in the
+//! bench, and the JSON records per cell the sequential, classic-sharded
+//! and fused-sharded host seconds (`shard_speedup` / `fused_speedup` are
+//! relative to sequential) plus the host's CPU count. The speedup columns
+//! only mean anything relative to `host_cpus`: generation runs on its own
+//! threads, so on a single-CPU host the pipeline serializes and the
+//! columns read as pure engine overhead, while multi-core hosts overlap
+//! generation with replay.
+//!
+//! A final section sweeps the descriptor batch size (`with_shard_batch`)
+//! on one fused cell: the channel-granularity knob must be invisible in
+//! the statistics and its host-time effect is recorded per size.
 //!
 //! ```text
 //! cargo run -p bench --release --bin perfjson [-- --scale test|default|paper \
@@ -52,6 +60,7 @@ struct Cell {
     host_s_scalar: f64,
     host_s_bulk: f64,
     host_s_shards4: f64,
+    host_s_fused: f64,
     sim_cycles: u64,
 }
 
@@ -131,12 +140,26 @@ fn main() {
                 platform,
                 nprocs,
                 scale,
-                RunConfig::new(nprocs).with_shards(4),
+                RunConfig::new(nprocs)
+                    .with_shards(4)
+                    .with_shard_fused(false),
             );
             let host_s_shards4 = t2.elapsed().as_secs_f64();
             assert_eq!(
                 bulk, sharded,
-                "sharded and sequential RunStats diverge for {app:?} on {platform:?}"
+                "classic sharded and sequential RunStats diverge for {app:?} on {platform:?}"
+            );
+            let t3 = Instant::now();
+            let fused = spec.run_cfg(
+                platform,
+                nprocs,
+                scale,
+                RunConfig::new(nprocs).with_shards(4).with_shard_fused(true),
+            );
+            let host_s_fused = t3.elapsed().as_secs_f64();
+            assert_eq!(
+                bulk, fused,
+                "fused sharded and sequential RunStats diverge for {app:?} on {platform:?}"
             );
             cells.push(Cell {
                 app,
@@ -144,6 +167,7 @@ fn main() {
                 host_s_scalar,
                 host_s_bulk,
                 host_s_shards4,
+                host_s_fused,
                 sim_cycles: bulk.total_cycles(),
             });
         }
@@ -246,6 +270,26 @@ fn main() {
     assert_eq!(cp.baseline, tr.end(), "what-if baseline != end-to-end time");
     assert_eq!(cp.edges_dropped, 0, "default edge cap overflowed");
 
+    // Batch sweep: the descriptor batch size is a channel-granularity knob
+    // on the generate side — it must be invisible in the statistics, and
+    // the sweep records what it costs (or buys) in host time on one fused
+    // cell. Sizes bracket the default (512) by 8x in both directions.
+    let batch_sizes: [usize; 3] = [64, 512, 4096];
+    let mut batch_cells = Vec::new();
+    for &b in &batch_sizes {
+        eprintln!("[perfjson] Ocean on SVM fused sharded, batch {b}...");
+        let tb = Instant::now();
+        let got = prof_spec.run_cfg(
+            Platform::Svm,
+            nprocs,
+            scale,
+            RunConfig::new(nprocs).with_shards(4).with_shard_batch(b),
+        );
+        let host_s = tb.elapsed().as_secs_f64();
+        assert_eq!(got, plain, "shard batch size {b} perturbed RunStats");
+        batch_cells.push((b, host_s));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"simulator-throughput\",");
@@ -297,17 +341,27 @@ fn main() {
         cp.edges_dropped,
         cp.total == tr.end() && cp.baseline == tr.end()
     );
+    json.push_str("  \"batch_sweep\": {\"app\": \"Ocean\", \"platform\": \"SVM\", \"cells\": [");
+    for (i, (b, s)) in batch_cells.iter().enumerate() {
+        let _ = write!(json, "{{\"batch\": {b}, \"host_s\": {s:.4}}}");
+        if i + 1 < batch_cells.len() {
+            json.push_str(", ");
+        }
+    }
+    json.push_str("]},\n");
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let speedup = c.host_s_scalar / c.host_s_bulk.max(1e-12);
         let shard_speedup = c.host_s_bulk / c.host_s_shards4.max(1e-12);
+        let fused_speedup = c.host_s_bulk / c.host_s_fused.max(1e-12);
         let cps = c.sim_cycles as f64 / c.host_s_bulk.max(1e-12);
         let _ = write!(
             json,
             "    {{\"app\": \"{}\", \"platform\": \"{}\", \
              \"host_s_scalar\": {:.4}, \"host_s_bulk\": {:.4}, \
              \"bulk_speedup\": {:.2}, \"host_s_shards4\": {:.4}, \
-             \"shard_speedup\": {:.2}, \"sim_cycles\": {}, \
+             \"shard_speedup\": {:.2}, \"host_s_fused\": {:.4}, \
+             \"fused_speedup\": {:.2}, \"sim_cycles\": {}, \
              \"sim_cycles_per_host_s\": {:.0}}}",
             c.app.name(),
             c.platform.name(),
@@ -316,6 +370,8 @@ fn main() {
             speedup,
             c.host_s_shards4,
             shard_speedup,
+            c.host_s_fused,
+            fused_speedup,
             c.sim_cycles,
             cps
         );

@@ -44,6 +44,7 @@ pub mod alloc;
 pub mod cache;
 pub mod critpath;
 pub mod detector;
+pub(crate) mod fused;
 pub mod mem;
 pub mod platform;
 pub mod resource;

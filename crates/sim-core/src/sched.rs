@@ -78,7 +78,29 @@ pub struct RunConfig {
     /// the classic engine. Defaults to the `SIM_SHARDS` environment
     /// variable when set.
     pub shards: usize,
+    /// Replay engine for sharded runs (`shards > 1`). `true` (the default)
+    /// selects the fused engine ([`crate::fused`]): every replay
+    /// interpreter is a stackless state machine driven by one host
+    /// thread's virtual-time event loop — no scheduler mutex, no condvar
+    /// hand-offs. `false` falls back to the classic replay side (one OS
+    /// thread per simulated processor). Both are bit-identical to the
+    /// sequential oracle; `SIM_SHARD_FUSED=0` in the environment flips the
+    /// default for A/B timing.
+    pub shard_fused: bool,
+    /// Descriptors per channel message in the sharded engine: the
+    /// granularity at which generation threads hand operation streams to
+    /// replay. Bigger batches amortize channel costs; smaller ones start
+    /// replay earlier and tighten the event-bounded lookahead window
+    /// (capacity is counted in batches). Defaults to the
+    /// `SIM_SHARD_BATCH` environment variable when set, else
+    /// [`crate::shard::DEFAULT_BATCH`]. Invisible in the statistics
+    /// (asserted across values by `tests/shard_equivalence.rs`).
+    pub shard_batch: usize,
 }
+
+/// Largest accepted [`RunConfig::shard_batch`]: past ~a million descriptors
+/// per message the channel stops being a pipeline at all.
+pub const MAX_SHARD_BATCH: usize = 1 << 20;
 
 impl RunConfig {
     /// Default configuration for `nprocs` processors.
@@ -99,6 +121,14 @@ impl RunConfig {
                 .and_then(|s| s.parse().ok())
                 .filter(|&n: &usize| n >= 1)
                 .unwrap_or(1),
+            shard_fused: std::env::var("SIM_SHARD_FUSED")
+                .map(|s| !matches!(s.as_str(), "0" | "false" | "off"))
+                .unwrap_or(true),
+            shard_batch: std::env::var("SIM_SHARD_BATCH")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| (1..=MAX_SHARD_BATCH).contains(&n))
+                .unwrap_or(crate::shard::DEFAULT_BATCH),
         }
     }
 
@@ -108,6 +138,28 @@ impl RunConfig {
     /// concurrently generating application threads.
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n.max(1);
+        self
+    }
+
+    /// Select the replay side of the sharded engine: `true` = the fused
+    /// single-threaded event loop (default), `false` = the classic
+    /// thread-per-processor scheduler. No effect when `shards = 1`.
+    pub fn with_shard_fused(mut self, fused: bool) -> Self {
+        self.shard_fused = fused;
+        self
+    }
+
+    /// Override the sharded engine's descriptor batch size (descriptors per
+    /// channel message).
+    ///
+    /// # Panics
+    /// If `n` is zero or exceeds [`MAX_SHARD_BATCH`].
+    pub fn with_shard_batch(mut self, n: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARD_BATCH).contains(&n),
+            "shard_batch must be in 1..={MAX_SHARD_BATCH}, got {n}"
+        );
+        self.shard_batch = n;
         self
     }
 
@@ -165,11 +217,29 @@ impl RunConfig {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Status {
+pub(crate) enum Status {
     Running,
     Ready,
     Blocked,
     Done,
+}
+
+/// What a processor does next after one of the [`Inner`] step methods: the
+/// engine-independent contract between the per-op state transitions and
+/// whichever engine drives them (the classic blocking scheduler or the
+/// fused event loop in [`crate::fused`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Keep running, with no quantum yield check (lock fast path,
+    /// allocation, rendezvous release — exactly the classic paths that
+    /// dropped the guard without calling `maybe_yield`).
+    Run,
+    /// Keep running, but first check whether a runnable processor has
+    /// fallen more than a quantum behind (the classic `maybe_yield` sites).
+    MaybeYield,
+    /// The processor blocked; its status is already `Blocked` and the
+    /// engine must hand the turn to the min-clock runnable processor.
+    Block,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -194,21 +264,29 @@ struct BarSt {
     arrivals: Vec<(usize, u64)>,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     platform: Box<dyn Platform>,
     alloc: GlobalAlloc,
-    clocks: Vec<u64>,
+    pub(crate) clocks: Vec<u64>,
     stats: Vec<ProcStats>,
-    status: Vec<Status>,
+    pub(crate) status: Vec<Status>,
     blocked_at: Vec<u64>,
     locks: FxMap<u32, LockSt>,
     barriers: FxMap<u32, BarSt>,
     start_arrivals: usize,
     stop_arrivals: usize,
     timing_on: bool,
-    quantum: u64,
-    ndone: usize,
+    pub(crate) quantum: u64,
+    pub(crate) ndone: usize,
     poisoned: Option<String>,
+    /// Min-clock index over `Ready` processors: entries are
+    /// `(clock, pid)`, pushed by [`Inner::make_ready`] and discarded
+    /// lazily when popped stale (status or clock moved on). Replaces the
+    /// O(P) status scan the hot dispatch path used to pay per operation.
+    /// Invariant: a `Ready` processor's clock never changes (clocks are
+    /// only rewritten at wake-ups, before `make_ready`, or on the running
+    /// processor), so every `Ready` processor always has one valid entry.
+    ready: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
     /// Present iff `RunConfig::detect_races`: the happens-before analysis
     /// fed by every load/store and synchronization event below.
     detector: Option<RaceDetector>,
@@ -232,14 +310,37 @@ impl Shared {
 }
 
 impl Inner {
-    fn min_ready(&self) -> Option<(usize, u64)> {
-        let mut best: Option<(usize, u64)> = None;
-        for (pid, (&st, &clk)) in self.status.iter().zip(&self.clocks).enumerate() {
-            if st == Status::Ready && best.is_none_or(|(_, b)| clk < b) {
-                best = Some((pid, clk));
+    /// Mark `pid` runnable and index it: the only way a processor enters
+    /// `Ready`, so the min-clock heap always covers every `Ready`
+    /// processor. Must be called *after* `clocks[pid]` has its resume
+    /// value.
+    #[inline]
+    pub(crate) fn make_ready(&mut self, pid: usize) {
+        self.status[pid] = Status::Ready;
+        self.ready.push(std::cmp::Reverse((self.clocks[pid], pid)));
+    }
+
+    /// Claim the turn for `pid` (which must be `Ready`); its heap entry
+    /// goes stale and is lazily discarded.
+    #[inline]
+    pub(crate) fn set_running(&mut self, pid: usize) {
+        debug_assert_eq!(self.status[pid], Status::Ready);
+        self.status[pid] = Status::Running;
+    }
+
+    /// The `Ready` processor with the minimum clock (lowest pid on ties —
+    /// the same selection the old linear scan made, because the heap
+    /// orders `(clock, pid)` lexicographically). Pops stale entries
+    /// (status or clock moved on since push) from the top; amortized O(1)
+    /// against the O(P) scan this replaces.
+    pub(crate) fn min_ready(&mut self) -> Option<(usize, u64)> {
+        while let Some(&std::cmp::Reverse((clk, pid))) = self.ready.peek() {
+            if self.status[pid] == Status::Ready && self.clocks[pid] == clk {
+                return Some((pid, clk));
             }
+            self.ready.pop();
         }
-        best
+        None
     }
 
     /// Virtual time up to which the running processor may advance without
@@ -249,7 +350,7 @@ impl Inner {
     /// then re-enters the scheduler, so interleavings are bit-identical.
     /// Constant within a batch: only the running processor mutates clocks
     /// and statuses.
-    fn yield_budget(&self) -> u64 {
+    fn yield_budget(&mut self) -> u64 {
         match self.min_ready() {
             Some((_, clk)) => clk.saturating_add(self.quantum),
             None => u64::MAX,
@@ -307,7 +408,7 @@ impl Inner {
         }
     }
 
-    fn describe(&self) -> String {
+    pub(crate) fn describe(&self) -> String {
         let mut s = String::new();
         for pid in 0..self.status.len() {
             s.push_str(&format!(
@@ -316,6 +417,515 @@ impl Inner {
             ));
         }
         s
+    }
+
+    // ---- the reentrant step API ----
+    //
+    // Every simulated operation is a non-blocking state transition on
+    // `Inner`, shared verbatim by both engines: the classic scheduler
+    // calls them under its global mutex and then parks OS threads per the
+    // returned `Step`, while the fused event loop ([`crate::fused`]) owns
+    // the `Inner` outright and just switches state machines. One
+    // implementation of the transitions — clock advance, FCFS lock
+    // queues, barrier membership, resource pricing, detector/trace/
+    // sharing hooks — is what makes the engines bit-identical by
+    // construction rather than by careful duplication.
+
+    /// Charge `cycles` of application compute time to `pid`.
+    pub(crate) fn op_work(&mut self, pid: usize, cycles: u64) -> Step {
+        if !self.timing_on {
+            // Clocks stay mutually equal while timing is off (nothing
+            // advances them), so `maybe_yield` could never fire — skip its
+            // ready-heap probe entirely.
+            return Step::Run;
+        }
+        self.clocks[pid] += cycles;
+        self.stats[pid].add(Bucket::Compute, cycles);
+        Step::MaybeYield
+    }
+
+    /// One yield-budget chunk of fused per-element compute. Returns the
+    /// number of elements (of `left` remaining) consumed, or `None` when
+    /// timing is off and the whole operation is a no-op.
+    pub(crate) fn op_work_fused_chunk(
+        &mut self,
+        pid: usize,
+        per_elem: u64,
+        left: u64,
+    ) -> Option<u64> {
+        if !self.timing_on {
+            return None; // as in `op_work`: nothing to charge, nothing can yield
+        }
+        let budget = self.yield_budget();
+        let now = self.clocks[pid];
+        // First element index (1-based) whose completion pushes the
+        // clock past the budget — exactly where the scalar path's
+        // per-element `maybe_yield` would hand the turn over.
+        let k = if now > budget {
+            1
+        } else {
+            match (budget - now).checked_div(per_elem) {
+                // per_elem == 0: the batch can never reach the budget
+                None => left,
+                Some(q) => q.saturating_add(1).min(left),
+            }
+        };
+        self.clocks[pid] += k * per_elem;
+        self.stats[pid].add(Bucket::Compute, k * per_elem);
+        Some(k)
+    }
+
+    /// Set `pid`'s application phase (sticky, saturating; no-op changes
+    /// leave the statistics untouched).
+    pub(crate) fn op_set_phase(&mut self, pid: usize, phase: usize) {
+        let old = self.stats[pid].phase();
+        if old != phase {
+            self.stats[pid].set_phase(phase);
+            let new = self.stats[pid].phase(); // saturated when out of range
+            if new != old {
+                let ts = self.clocks[pid];
+                self.emit(pid, ts, crate::trace::EventKind::PhaseEnd { phase: old });
+                self.emit(pid, ts, crate::trace::EventKind::PhaseBegin { phase: new });
+            }
+        }
+    }
+
+    /// Bump-allocate shared memory on behalf of `pid`.
+    pub(crate) fn op_alloc(
+        &mut self,
+        pid: usize,
+        label: &'static str,
+        bytes: u64,
+        align: u64,
+        placement: Placement,
+    ) -> Addr {
+        self.alloc
+            .alloc_labeled(label, bytes, align, placement, pid)
+    }
+
+    /// Perform one load for `pid`.
+    pub(crate) fn op_load(&mut self, pid: usize, addr: Addr, len: u8) -> u64 {
+        let v = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform.load(&mut t, addr, len)
+        };
+        if let Some(d) = self.detector.as_mut() {
+            d.on_read(pid, addr, len, &self.alloc);
+        }
+        v
+    }
+
+    /// Perform one store for `pid`.
+    pub(crate) fn op_store(&mut self, pid: usize, addr: Addr, len: u8, val: u64) {
+        {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform.store(&mut t, addr, len, val);
+        }
+        if let Some(d) = self.detector.as_mut() {
+            d.on_write(pid, addr, len, &self.alloc);
+        }
+    }
+
+    /// One yield-budget chunk of a bulk load: loads `len`-byte words at
+    /// `base + i*stride` into `out` until the budget is exhausted, feeding
+    /// the race detector per word run. Returns how many words were done
+    /// (always ≥ 1 for a non-empty `out`).
+    pub(crate) fn op_load_chunk(
+        &mut self,
+        pid: usize,
+        base: Addr,
+        stride: u64,
+        len: u8,
+        out: &mut [u64],
+    ) -> usize {
+        let budget = self.yield_budget();
+        let k = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform
+                .load_bulk(&mut t, base, stride, len, out, budget)
+        };
+        debug_assert!(k >= 1, "load_bulk must perform at least one word");
+        if let Some(d) = self.detector.as_mut() {
+            d.on_read_run(pid, base, stride, len, k, &self.alloc);
+        }
+        k
+    }
+
+    /// One yield-budget chunk of a bulk store (twin of
+    /// [`Inner::op_load_chunk`]).
+    pub(crate) fn op_store_chunk(
+        &mut self,
+        pid: usize,
+        base: Addr,
+        stride: u64,
+        len: u8,
+        vals: &[u64],
+    ) -> usize {
+        let budget = self.yield_budget();
+        let k = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform
+                .store_bulk(&mut t, base, stride, len, vals, budget)
+        };
+        debug_assert!(k >= 1, "store_bulk must perform at least one word");
+        if let Some(d) = self.detector.as_mut() {
+            d.on_write_run(pid, base, stride, len, k, &self.alloc);
+        }
+        k
+    }
+
+    /// `pid` acquires lock `id`: grant immediately when free (paying
+    /// protocol and availability stalls) or join the FCFS wait queue.
+    pub(crate) fn op_lock(&mut self, pid: usize, id: u32) -> Step {
+        self.stats[pid].counters.lock_acquires += 1;
+        self.emit(
+            pid,
+            self.clocks[pid],
+            crate::trace::EventKind::LockAcquireStart { lock: id as u64 },
+        );
+        let arrival = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform.acquire_request(&mut t, id)
+        };
+        let lk = self.locks.entry(id).or_default();
+        if lk.held_by.is_none() && lk.waiters.is_empty() {
+            lk.held_by = Some(pid);
+            let grant_at = lk.avail_at.max(arrival);
+            let last_release = lk.last_release;
+            let timing_on = self.timing_on;
+            let resume = self.platform.acquire_grant(
+                pid,
+                id,
+                grant_at,
+                &mut self.stats[pid],
+                self.alloc.map(),
+                timing_on,
+            );
+            let mut waited = 0;
+            if self.timing_on && resume > self.clocks[pid] {
+                let d = resume - self.clocks[pid];
+                let t0 = self.clocks[pid];
+                self.stats[pid].add(Bucket::LockWait, d);
+                self.clocks[pid] = resume;
+                waited = d;
+                // The lock was free but the acquire still stalled (protocol
+                // round trips, or paying off the previous holder's
+                // `avail_at`): a handoff edge from the last releaser if one
+                // exists, else intrinsic to this processor.
+                let (src, src_ts) = last_release.unwrap_or((pid, t0));
+                self.emit_edge(
+                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
+                    pid,
+                    t0,
+                    resume,
+                    src,
+                    src_ts,
+                );
+            }
+            self.emit(
+                pid,
+                self.clocks[pid],
+                crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
+            );
+            self.sample_lock(pid, waited);
+            if let Some(det) = self.detector.as_mut() {
+                det.on_acquire(pid, id);
+            }
+            Step::Run
+        } else {
+            lk.waiters.push(Waiter { pid, arrival });
+            self.blocked_at[pid] = self.clocks[pid];
+            self.status[pid] = Status::Blocked;
+            Step::Block
+        }
+    }
+
+    /// `pid` releases lock `id`, granting it to the earliest-arrived
+    /// waiter (if any), who becomes runnable at its resume time.
+    pub(crate) fn op_unlock(&mut self, pid: usize, id: u32) -> Step {
+        let avail = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform.release(&mut t, id)
+        };
+        self.emit(
+            pid,
+            self.clocks[pid],
+            crate::trace::EventKind::LockRelease { lock: id as u64 },
+        );
+        if let Some(det) = self.detector.as_mut() {
+            det.on_release(pid, id);
+        }
+        let release_ts = self.clocks[pid];
+        let lk = self
+            .locks
+            .get_mut(&id)
+            .expect("unlock of never-locked lock");
+        assert_eq!(lk.held_by, Some(pid), "unlock by non-holder p{pid}");
+        lk.held_by = None;
+        lk.avail_at = avail;
+        lk.last_release = Some((pid, release_ts));
+        if !lk.waiters.is_empty() {
+            // Earliest virtual arrival wins; pid breaks ties deterministically.
+            let mut best = 0;
+            for (i, w) in lk.waiters.iter().enumerate() {
+                let b = &lk.waiters[best];
+                if (w.arrival, w.pid) < (b.arrival, b.pid) {
+                    best = i;
+                }
+            }
+            let w = lk.waiters.swap_remove(best);
+            lk.held_by = Some(w.pid);
+            let grant_at = avail.max(w.arrival);
+            let timing_on = self.timing_on;
+            let resume = self.platform.acquire_grant(
+                w.pid,
+                id,
+                grant_at,
+                &mut self.stats[w.pid],
+                self.alloc.map(),
+                timing_on,
+            );
+            let resume = resume.max(self.blocked_at[w.pid]);
+            if self.timing_on {
+                let waited = resume - self.blocked_at[w.pid];
+                self.stats[w.pid].add(Bucket::LockWait, waited);
+                self.emit(
+                    w.pid,
+                    resume,
+                    crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
+                );
+                self.sample_lock(w.pid, waited);
+                // Handoff provenance: the waiter's resume was enabled by
+                // this release at `release_ts` on the releaser's timeline.
+                self.emit_edge(
+                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
+                    w.pid,
+                    self.blocked_at[w.pid],
+                    resume,
+                    pid,
+                    release_ts,
+                );
+            }
+            self.clocks[w.pid] = resume;
+            self.make_ready(w.pid);
+            if let Some(det) = self.detector.as_mut() {
+                det.on_acquire(w.pid, id);
+            }
+        }
+        Step::MaybeYield
+    }
+
+    /// `pid` arrives at barrier `id`; the last arrival releases everyone
+    /// at their platform-priced resume times.
+    pub(crate) fn op_barrier(&mut self, pid: usize, id: u32) -> Step {
+        let nprocs = self.status.len();
+        self.stats[pid].counters.barriers += 1;
+        let t_arr = {
+            let mut t = Timing {
+                pid,
+                now: &mut self.clocks[pid],
+                stats: &mut self.stats[pid],
+                placement: self.alloc.map(),
+                timing_on: self.timing_on,
+            };
+            self.platform.barrier_arrive(&mut t, id)
+        };
+        self.blocked_at[pid] = self.clocks[pid];
+        self.emit(
+            pid,
+            self.clocks[pid],
+            crate::trace::EventKind::BarrierEnter { barrier: id as u64 },
+        );
+        let bar = self.barriers.entry(id).or_default();
+        bar.arrivals.push((pid, t_arr));
+        if bar.arrivals.len() == nprocs {
+            let mut arr = vec![0u64; nprocs];
+            for &(p, a) in bar.arrivals.iter() {
+                arr[p] = a;
+            }
+            bar.arrivals.clear();
+            let timing_on = self.timing_on;
+            let resumes = self.platform.barrier_release(
+                id,
+                &arr,
+                &mut self.stats,
+                self.alloc.map(),
+                timing_on,
+            );
+            debug_assert_eq!(resumes.len(), nprocs);
+            // The last arriver (earliest pid on ties) gates every exit: it
+            // is the provenance of the barrier-release edges.
+            let mut last = 0usize;
+            for q in 1..nprocs {
+                if arr[q] > arr[last] {
+                    last = q;
+                }
+            }
+            let last_ts = self.blocked_at[last];
+            for q in 0..nprocs {
+                let resume = resumes[q].max(self.blocked_at[q]);
+                if self.timing_on {
+                    let waited = resume - self.blocked_at[q];
+                    self.stats[q].add(Bucket::BarrierWait, waited);
+                    self.emit(
+                        q,
+                        resume,
+                        crate::trace::EventKind::BarrierExit { barrier: id as u64 },
+                    );
+                    self.sample_barrier(q, waited);
+                    self.emit_edge(
+                        crate::trace::DepKind::BarrierRelease { barrier: id as u64 },
+                        q,
+                        self.blocked_at[q],
+                        resume,
+                        last,
+                        last_ts,
+                    );
+                }
+                self.clocks[q] = resume;
+                if q != pid {
+                    debug_assert_eq!(self.status[q], Status::Blocked);
+                    self.make_ready(q);
+                }
+            }
+            if let Some(det) = self.detector.as_mut() {
+                det.on_barrier();
+            }
+            Step::MaybeYield
+        } else {
+            self.status[pid] = Status::Blocked;
+            Step::Block
+        }
+    }
+
+    /// `pid` arrives at the start-of-timed-region rendezvous; the last
+    /// arrival resets clocks, statistics and platform resource state.
+    pub(crate) fn op_start_timing(&mut self, pid: usize) -> Step {
+        let nprocs = self.status.len();
+        self.start_arrivals += 1;
+        if self.start_arrivals == nprocs {
+            self.start_arrivals = 0;
+            self.platform.reset_timing();
+            self.timing_on = true;
+            for q in 0..nprocs {
+                self.clocks[q] = 0;
+                self.blocked_at[q] = 0;
+                self.stats[q].reset();
+                if q != pid && self.status[q] == Status::Blocked {
+                    self.make_ready(q);
+                }
+            }
+            // Restart the trace so it covers exactly the timed region, and
+            // open each processor's current phase at virtual time zero.
+            if let Some(h) = &self.trace {
+                h.lock().unwrap().reset();
+                for q in 0..nprocs {
+                    let phase = self.stats[q].phase();
+                    self.emit(q, 0, crate::trace::EventKind::PhaseBegin { phase });
+                }
+            }
+            if let Some(det) = self.detector.as_mut() {
+                det.on_barrier();
+            }
+            Step::Run
+        } else {
+            self.blocked_at[pid] = self.clocks[pid];
+            self.status[pid] = Status::Blocked;
+            Step::Block
+        }
+    }
+
+    /// `pid` arrives at the end-of-timed-region rendezvous; the last
+    /// arrival settles everyone at the maximum clock and freezes timing.
+    pub(crate) fn op_stop_timing(&mut self, pid: usize) -> Step {
+        let nprocs = self.status.len();
+        self.stop_arrivals += 1;
+        if self.stop_arrivals == nprocs {
+            self.stop_arrivals = 0;
+            // Settle everyone at the maximum clock (a barrier in effect),
+            // then freeze. The overall straggler (earliest pid on ties) is
+            // the provenance of everyone else's settle wait.
+            let max = self.clocks.iter().copied().max().unwrap_or(0);
+            let mut straggler = 0usize;
+            for q in 1..nprocs {
+                if self.clocks[q] > self.clocks[straggler] {
+                    straggler = q;
+                }
+            }
+            for q in 0..nprocs {
+                if self.timing_on {
+                    let d = max - self.clocks[q];
+                    self.emit_edge(
+                        crate::trace::DepKind::Settle,
+                        q,
+                        self.clocks[q],
+                        max,
+                        straggler,
+                        max,
+                    );
+                    self.clocks[q] = max;
+                    self.stats[q].add(Bucket::BarrierWait, d);
+                    // Close each processor's open phase at the settle point
+                    // so phase spans cover the whole timed region.
+                    let phase = self.stats[q].phase();
+                    self.emit(q, max, crate::trace::EventKind::PhaseEnd { phase });
+                }
+                if q != pid && self.status[q] == Status::Blocked {
+                    self.make_ready(q);
+                }
+            }
+            self.timing_on = false;
+            if let Some(det) = self.detector.as_mut() {
+                det.on_barrier();
+            }
+            Step::Run
+        } else {
+            self.blocked_at[pid] = self.clocks[pid];
+            self.status[pid] = Status::Blocked;
+            Step::Block
+        }
+    }
+
+    /// `pid`'s body returned: mark it done.
+    pub(crate) fn op_finish(&mut self, pid: usize) {
+        self.status[pid] = Status::Done;
+        self.ndone += 1;
     }
 }
 
@@ -392,16 +1002,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        if !g.timing_on {
-            // Clocks stay mutually equal while timing is off (nothing
-            // advances them), so `maybe_yield` could never fire — skip its
-            // ready-queue scan entirely.
-            return;
-        }
-        g.clocks[self.pid] += cycles;
-        let pid = self.pid;
-        g.stats[pid].add(Bucket::Compute, cycles);
-        self.maybe_yield(g);
+        let step = g.op_work(self.pid, cycles);
+        self.step_end(g, step);
     }
 
     /// Set the current application phase for per-phase time attribution.
@@ -414,17 +1016,7 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let old = g.stats[pid].phase();
-        if old != phase {
-            g.stats[pid].set_phase(phase);
-            let new = g.stats[pid].phase(); // saturated when out of range
-            if new != old {
-                let ts = g.clocks[pid];
-                g.emit(pid, ts, crate::trace::EventKind::PhaseEnd { phase: old });
-                g.emit(pid, ts, crate::trace::EventKind::PhaseBegin { phase: new });
-            }
-        }
+        g.op_set_phase(self.pid, phase);
     }
 
     /// Allocate shared memory (bump allocation; never freed).
@@ -455,8 +1047,7 @@ impl Proc {
             }
         }
         let mut g = self.shared().lock();
-        g.alloc
-            .alloc_labeled(label, bytes, align, placement, self.pid)
+        g.op_alloc(self.pid, label, bytes, align, placement)
     }
 
     /// Load `len` (1/2/4/8) bytes from the simulated shared address space.
@@ -467,20 +1058,7 @@ impl Proc {
             return ctx.plane.load(addr, len);
         }
         let mut g = self.shared().lock();
-        let inner = &mut *g;
-        let v = {
-            let mut t = Timing {
-                pid: self.pid,
-                now: &mut inner.clocks[self.pid],
-                stats: &mut inner.stats[self.pid],
-                placement: inner.alloc.map(),
-                timing_on: inner.timing_on,
-            };
-            inner.platform.load(&mut t, addr, len)
-        };
-        if let Some(d) = inner.detector.as_mut() {
-            d.on_read(self.pid, addr, len, &inner.alloc);
-        }
+        let v = g.op_load(self.pid, addr, len);
         self.maybe_yield(g);
         v
     }
@@ -494,20 +1072,7 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let inner = &mut *g;
-        {
-            let mut t = Timing {
-                pid: self.pid,
-                now: &mut inner.clocks[self.pid],
-                stats: &mut inner.stats[self.pid],
-                placement: inner.alloc.map(),
-                timing_on: inner.timing_on,
-            };
-            inner.platform.store(&mut t, addr, len, val);
-        }
-        if let Some(d) = inner.detector.as_mut() {
-            d.on_write(self.pid, addr, len, &inner.alloc);
-        }
+        g.op_store(self.pid, addr, len, val);
         self.maybe_yield(g);
     }
 
@@ -568,26 +1133,8 @@ impl Proc {
         let mut done = 0;
         while done < out.len() {
             let mut g = self.shared().lock();
-            let inner = &mut *g;
-            let budget = inner.yield_budget();
             let base = addr + done as u64 * stride;
-            let k = {
-                let mut t = Timing {
-                    pid: self.pid,
-                    now: &mut inner.clocks[self.pid],
-                    stats: &mut inner.stats[self.pid],
-                    placement: inner.alloc.map(),
-                    timing_on: inner.timing_on,
-                };
-                inner
-                    .platform
-                    .load_bulk(&mut t, base, stride, len, &mut out[done..], budget)
-            };
-            debug_assert!(k >= 1, "load_bulk must perform at least one word");
-            if let Some(d) = inner.detector.as_mut() {
-                d.on_read_run(self.pid, base, stride, len, k, &inner.alloc);
-            }
-            done += k;
+            done += g.op_load_chunk(self.pid, base, stride, len, &mut out[done..]);
             self.maybe_yield(g);
         }
     }
@@ -613,26 +1160,8 @@ impl Proc {
         let mut done = 0;
         while done < vals.len() {
             let mut g = self.shared().lock();
-            let inner = &mut *g;
-            let budget = inner.yield_budget();
             let base = addr + done as u64 * stride;
-            let k = {
-                let mut t = Timing {
-                    pid: self.pid,
-                    now: &mut inner.clocks[self.pid],
-                    stats: &mut inner.stats[self.pid],
-                    placement: inner.alloc.map(),
-                    timing_on: inner.timing_on,
-                };
-                inner
-                    .platform
-                    .store_bulk(&mut t, base, stride, len, &vals[done..], budget)
-            };
-            debug_assert!(k >= 1, "store_bulk must perform at least one word");
-            if let Some(d) = inner.detector.as_mut() {
-                d.on_write_run(self.pid, base, stride, len, k, &inner.alloc);
-            }
-            done += k;
+            done += g.op_store_chunk(self.pid, base, stride, len, &vals[done..]);
             self.maybe_yield(g);
         }
     }
@@ -725,27 +1254,10 @@ impl Proc {
         let mut left = count;
         while left > 0 {
             let mut g = self.shared().lock();
-            if !g.timing_on {
-                return; // as in `work`: nothing to charge, nothing can yield
+            match g.op_work_fused_chunk(self.pid, per_elem, left) {
+                None => return, // timing off: nothing to charge, nothing can yield
+                Some(k) => left -= k,
             }
-            let budget = g.yield_budget();
-            let now = g.clocks[self.pid];
-            // First element index (1-based) whose completion pushes the
-            // clock past the budget — exactly where the scalar path's
-            // per-element `maybe_yield` would hand the turn over.
-            let k = if now > budget {
-                1
-            } else {
-                match (budget - now).checked_div(per_elem) {
-                    // per_elem == 0: the batch can never reach the budget
-                    None => left,
-                    Some(q) => q.saturating_add(1).min(left),
-                }
-            };
-            g.clocks[self.pid] += k * per_elem;
-            let pid = self.pid;
-            g.stats[pid].add(Bucket::Compute, k * per_elem);
-            left -= k;
             self.maybe_yield(g);
         }
     }
@@ -762,74 +1274,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let inner = &mut *g;
-        inner.stats[pid].counters.lock_acquires += 1;
-        inner.emit(
-            pid,
-            inner.clocks[pid],
-            crate::trace::EventKind::LockAcquireStart { lock: id as u64 },
-        );
-        let arrival = {
-            let mut t = Timing {
-                pid,
-                now: &mut inner.clocks[pid],
-                stats: &mut inner.stats[pid],
-                placement: inner.alloc.map(),
-                timing_on: inner.timing_on,
-            };
-            inner.platform.acquire_request(&mut t, id)
-        };
-        let lk = inner.locks.entry(id).or_default();
-        if lk.held_by.is_none() && lk.waiters.is_empty() {
-            lk.held_by = Some(pid);
-            let grant_at = lk.avail_at.max(arrival);
-            let last_release = lk.last_release;
-            let timing_on = inner.timing_on;
-            let resume = inner.platform.acquire_grant(
-                pid,
-                id,
-                grant_at,
-                &mut inner.stats[pid],
-                inner.alloc.map(),
-                timing_on,
-            );
-            let mut waited = 0;
-            if inner.timing_on && resume > inner.clocks[pid] {
-                let d = resume - inner.clocks[pid];
-                let t0 = inner.clocks[pid];
-                inner.stats[pid].add(Bucket::LockWait, d);
-                inner.clocks[pid] = resume;
-                waited = d;
-                // The lock was free but the acquire still stalled (protocol
-                // round trips, or paying off the previous holder's
-                // `avail_at`): a handoff edge from the last releaser if one
-                // exists, else intrinsic to this processor.
-                let (src, src_ts) = last_release.unwrap_or((pid, t0));
-                inner.emit_edge(
-                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
-                    pid,
-                    t0,
-                    resume,
-                    src,
-                    src_ts,
-                );
-            }
-            inner.emit(
-                pid,
-                inner.clocks[pid],
-                crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
-            );
-            inner.sample_lock(pid, waited);
-            if let Some(det) = inner.detector.as_mut() {
-                det.on_acquire(pid, id);
-            }
-            drop(g);
-        } else {
-            lk.waiters.push(Waiter { pid, arrival });
-            inner.blocked_at[pid] = inner.clocks[pid];
-            self.block(g);
-        }
+        let step = g.op_lock(self.pid, id);
+        self.step_end(g, step);
     }
 
     /// Release lock `id`, granting it to the earliest-arrived waiter if any.
@@ -842,84 +1288,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let inner = &mut *g;
-        let avail = {
-            let mut t = Timing {
-                pid,
-                now: &mut inner.clocks[pid],
-                stats: &mut inner.stats[pid],
-                placement: inner.alloc.map(),
-                timing_on: inner.timing_on,
-            };
-            inner.platform.release(&mut t, id)
-        };
-        inner.emit(
-            pid,
-            inner.clocks[pid],
-            crate::trace::EventKind::LockRelease { lock: id as u64 },
-        );
-        if let Some(det) = inner.detector.as_mut() {
-            det.on_release(pid, id);
-        }
-        let release_ts = inner.clocks[pid];
-        let lk = inner
-            .locks
-            .get_mut(&id)
-            .expect("unlock of never-locked lock");
-        assert_eq!(lk.held_by, Some(pid), "unlock by non-holder p{pid}");
-        lk.held_by = None;
-        lk.avail_at = avail;
-        lk.last_release = Some((pid, release_ts));
-        if !lk.waiters.is_empty() {
-            // Earliest virtual arrival wins; pid breaks ties deterministically.
-            let mut best = 0;
-            for (i, w) in lk.waiters.iter().enumerate() {
-                let b = &lk.waiters[best];
-                if (w.arrival, w.pid) < (b.arrival, b.pid) {
-                    best = i;
-                }
-            }
-            let w = lk.waiters.swap_remove(best);
-            lk.held_by = Some(w.pid);
-            let grant_at = avail.max(w.arrival);
-            let timing_on = inner.timing_on;
-            let resume = inner.platform.acquire_grant(
-                w.pid,
-                id,
-                grant_at,
-                &mut inner.stats[w.pid],
-                inner.alloc.map(),
-                timing_on,
-            );
-            let resume = resume.max(inner.blocked_at[w.pid]);
-            if inner.timing_on {
-                let waited = resume - inner.blocked_at[w.pid];
-                inner.stats[w.pid].add(Bucket::LockWait, waited);
-                inner.emit(
-                    w.pid,
-                    resume,
-                    crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
-                );
-                inner.sample_lock(w.pid, waited);
-                // Handoff provenance: the waiter's resume was enabled by
-                // this release at `release_ts` on the releaser's timeline.
-                inner.emit_edge(
-                    crate::trace::DepKind::LockHandoff { lock: id as u64 },
-                    w.pid,
-                    inner.blocked_at[w.pid],
-                    resume,
-                    pid,
-                    release_ts,
-                );
-            }
-            inner.clocks[w.pid] = resume;
-            inner.status[w.pid] = Status::Ready;
-            if let Some(det) = inner.detector.as_mut() {
-                det.on_acquire(w.pid, id);
-            }
-        }
-        self.maybe_yield(g);
+        let step = g.op_unlock(self.pid, id);
+        self.step_end(g, step);
     }
 
     /// Wait at barrier `id` until all processors arrive.
@@ -929,85 +1299,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let nprocs = self.nprocs;
-        let inner = &mut *g;
-        inner.stats[pid].counters.barriers += 1;
-        let t_arr = {
-            let mut t = Timing {
-                pid,
-                now: &mut inner.clocks[pid],
-                stats: &mut inner.stats[pid],
-                placement: inner.alloc.map(),
-                timing_on: inner.timing_on,
-            };
-            inner.platform.barrier_arrive(&mut t, id)
-        };
-        inner.blocked_at[pid] = inner.clocks[pid];
-        inner.emit(
-            pid,
-            inner.clocks[pid],
-            crate::trace::EventKind::BarrierEnter { barrier: id as u64 },
-        );
-        let bar = inner.barriers.entry(id).or_default();
-        bar.arrivals.push((pid, t_arr));
-        if bar.arrivals.len() == nprocs {
-            let mut arr = vec![0u64; nprocs];
-            for &(p, a) in bar.arrivals.iter() {
-                arr[p] = a;
-            }
-            bar.arrivals.clear();
-            let timing_on = inner.timing_on;
-            let resumes = inner.platform.barrier_release(
-                id,
-                &arr,
-                &mut inner.stats,
-                inner.alloc.map(),
-                timing_on,
-            );
-            debug_assert_eq!(resumes.len(), nprocs);
-            // The last arriver (earliest pid on ties) gates every exit: it
-            // is the provenance of the barrier-release edges.
-            let mut last = 0usize;
-            for q in 1..nprocs {
-                if arr[q] > arr[last] {
-                    last = q;
-                }
-            }
-            let last_ts = inner.blocked_at[last];
-            for q in 0..nprocs {
-                let resume = resumes[q].max(inner.blocked_at[q]);
-                if inner.timing_on {
-                    let waited = resume - inner.blocked_at[q];
-                    inner.stats[q].add(Bucket::BarrierWait, waited);
-                    inner.emit(
-                        q,
-                        resume,
-                        crate::trace::EventKind::BarrierExit { barrier: id as u64 },
-                    );
-                    inner.sample_barrier(q, waited);
-                    inner.emit_edge(
-                        crate::trace::DepKind::BarrierRelease { barrier: id as u64 },
-                        q,
-                        inner.blocked_at[q],
-                        resume,
-                        last,
-                        last_ts,
-                    );
-                }
-                inner.clocks[q] = resume;
-                if q != pid {
-                    debug_assert_eq!(inner.status[q], Status::Blocked);
-                    inner.status[q] = Status::Ready;
-                }
-            }
-            if let Some(det) = inner.detector.as_mut() {
-                det.on_barrier();
-            }
-            self.maybe_yield(g);
-        } else {
-            self.block(g);
-        }
+        let step = g.op_barrier(self.pid, id);
+        self.step_end(g, step);
     }
 
     /// Synchronize all processors, then reset clocks, statistics and
@@ -1020,38 +1313,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let nprocs = self.nprocs;
-        g.start_arrivals += 1;
-        if g.start_arrivals == nprocs {
-            g.start_arrivals = 0;
-            g.platform.reset_timing();
-            g.timing_on = true;
-            for q in 0..nprocs {
-                g.clocks[q] = 0;
-                g.blocked_at[q] = 0;
-                g.stats[q].reset();
-                if q != pid && g.status[q] == Status::Blocked {
-                    g.status[q] = Status::Ready;
-                }
-            }
-            // Restart the trace so it covers exactly the timed region, and
-            // open each processor's current phase at virtual time zero.
-            if let Some(h) = &g.trace {
-                h.lock().unwrap().reset();
-                for q in 0..nprocs {
-                    let phase = g.stats[q].phase();
-                    g.emit(q, 0, crate::trace::EventKind::PhaseBegin { phase });
-                }
-            }
-            if let Some(det) = g.detector.as_mut() {
-                det.on_barrier();
-            }
-            drop(g);
-        } else {
-            g.blocked_at[pid] = g.clocks[pid];
-            self.block(g);
-        }
+        let step = g.op_start_timing(self.pid);
+        self.step_end(g, step);
     }
 
     /// Synchronize all processors and freeze clocks and statistics: the end
@@ -1064,52 +1327,8 @@ impl Proc {
             return;
         }
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        let nprocs = self.nprocs;
-        g.stop_arrivals += 1;
-        if g.stop_arrivals == nprocs {
-            g.stop_arrivals = 0;
-            // Settle everyone at the maximum clock (a barrier in effect),
-            // then freeze. The overall straggler (earliest pid on ties) is
-            // the provenance of everyone else's settle wait.
-            let max = g.clocks.iter().copied().max().unwrap_or(0);
-            let mut straggler = 0usize;
-            for q in 1..nprocs {
-                if g.clocks[q] > g.clocks[straggler] {
-                    straggler = q;
-                }
-            }
-            for q in 0..nprocs {
-                if g.timing_on {
-                    let d = max - g.clocks[q];
-                    g.emit_edge(
-                        crate::trace::DepKind::Settle,
-                        q,
-                        g.clocks[q],
-                        max,
-                        straggler,
-                        max,
-                    );
-                    g.clocks[q] = max;
-                    g.stats[q].add(Bucket::BarrierWait, d);
-                    // Close each processor's open phase at the settle point
-                    // so phase spans cover the whole timed region.
-                    let phase = g.stats[q].phase();
-                    g.emit(q, max, crate::trace::EventKind::PhaseEnd { phase });
-                }
-                if q != pid && g.status[q] == Status::Blocked {
-                    g.status[q] = Status::Ready;
-                }
-            }
-            g.timing_on = false;
-            if let Some(det) = g.detector.as_mut() {
-                det.on_barrier();
-            }
-            drop(g);
-        } else {
-            g.blocked_at[pid] = g.clocks[pid];
-            self.block(g);
-        }
+        let step = g.op_stop_timing(self.pid);
+        self.step_end(g, step);
     }
 
     /// True while the timed region is active.
@@ -1138,6 +1357,21 @@ impl Proc {
     }
 
     // ---- scheduling internals ----
+    //
+    // The OS-thread half of the classic engine: an op method (above)
+    // already performed the state transition under the mutex; these park
+    // and wake host threads to realize the `Step` it returned.
+
+    /// Realize an op's `Step` on this OS thread: keep running, offer the
+    /// turn, or give it up entirely.
+    #[inline]
+    fn step_end(&self, g: MutexGuard<'_, Inner>, step: Step) {
+        match step {
+            Step::Run => drop(g),
+            Step::MaybeYield => self.maybe_yield(g),
+            Step::Block => self.suspend(g),
+        }
+    }
 
     /// Hand the turn over if some runnable processor has fallen more than a
     /// quantum behind this one.
@@ -1147,8 +1381,8 @@ impl Proc {
         let quantum = g.quantum;
         if let Some((next, clk)) = g.min_ready() {
             if g.clocks[pid] > clk + quantum {
-                g.status[pid] = Status::Ready;
-                g.status[next] = Status::Running;
+                g.make_ready(pid);
+                g.set_running(next);
                 self.shared().cvs[next].notify_one();
                 self.wait_for_turn(g);
                 return;
@@ -1157,10 +1391,9 @@ impl Proc {
         drop(g);
     }
 
-    /// Unconditionally give up the turn and block until woken and scheduled.
-    fn block(&self, mut g: MutexGuard<'_, Inner>) {
-        let pid = self.pid;
-        g.status[pid] = Status::Blocked;
+    /// The op already marked this processor non-runnable (Blocked): wake a
+    /// successor and park until rescheduled.
+    fn suspend(&self, mut g: MutexGuard<'_, Inner>) {
         self.dispatch_next(&mut g);
         self.wait_for_turn(g);
     }
@@ -1169,7 +1402,7 @@ impl Proc {
     /// turn). Panics on deadlock.
     fn dispatch_next(&self, g: &mut MutexGuard<'_, Inner>) {
         if let Some((next, _)) = g.min_ready() {
-            g.status[next] = Status::Running;
+            g.set_running(next);
             self.shared().cvs[next].notify_one();
         } else if g.ndone < g.status.len() {
             let all_done_or_blocked = g
@@ -1211,9 +1444,7 @@ impl Proc {
     /// Called when the body returns: mark Done and dispatch.
     fn finish(&self) {
         let mut g = self.shared().lock();
-        let pid = self.pid;
-        g.status[pid] = Status::Done;
-        g.ndone += 1;
+        g.op_finish(self.pid);
         self.dispatch_next(&mut g);
     }
 }
@@ -1258,6 +1489,98 @@ where
     }
 }
 
+/// Build the scheduler state both engines drive: processor 0 running,
+/// everyone else ready at clock zero (and already in the ready heap).
+pub(crate) fn build_inner(mut platform: Box<dyn Platform>, cfg: &RunConfig) -> Inner {
+    let nprocs = cfg.nprocs;
+    assert_eq!(
+        platform.nprocs(),
+        nprocs,
+        "platform and RunConfig disagree on processor count"
+    );
+    assert!(nprocs >= 1);
+    platform.set_sharing_profile(cfg.sharing_profile);
+    let trace_handle = cfg.trace.then(|| {
+        Arc::new(Mutex::new(crate::trace::TraceSink::new(
+            nprocs,
+            cfg.trace_cap,
+            cfg.edge_cap,
+        )))
+    });
+    platform.set_trace(trace_handle.clone());
+    Inner {
+        platform,
+        alloc: GlobalAlloc::new(nprocs),
+        clocks: vec![0; nprocs],
+        stats: vec![ProcStats::default(); nprocs],
+        status: {
+            let mut v = vec![Status::Ready; nprocs];
+            v[0] = Status::Running;
+            v
+        },
+        ready: (1..nprocs).map(|pid| std::cmp::Reverse((0, pid))).collect(),
+        blocked_at: vec![0; nprocs],
+        locks: FxMap::default(),
+        barriers: FxMap::default(),
+        start_arrivals: 0,
+        stop_arrivals: 0,
+        timing_on: false,
+        quantum: cfg.quantum,
+        ndone: 0,
+        poisoned: None,
+        detector: cfg
+            .detect_races
+            .then(|| RaceDetector::new(nprocs, cfg.label.clone())),
+        trace: trace_handle,
+    }
+}
+
+/// Harvest a completed run's `Inner` into `RunStats` + platform profile:
+/// platform finalization, sharing-profile labelling, race reports, and
+/// trace extraction. Shared by both engines.
+pub(crate) fn collect_stats(mut inner: Inner, cfg: &RunConfig) -> (RunStats, Option<String>) {
+    inner.platform.finalize(&mut inner.stats);
+    let profile = inner.platform.profile();
+    let sharing = cfg.sharing_profile.then(|| {
+        let mut prof = inner.platform.sharing_profile().unwrap_or_default();
+        for p in &mut prof.pages {
+            p.label = inner.alloc.label_of(p.page_base);
+        }
+        prof
+    });
+    let races = inner
+        .detector
+        .map(RaceDetector::into_reports)
+        .unwrap_or_default();
+    // Drop the platform's clone of the trace handle so the sink can be
+    // unwrapped and frozen into the RunStats.
+    inner.platform.set_trace(None);
+    let trace = inner.trace.take().map(|h| {
+        let Ok(sink) = Arc::try_unwrap(h) else {
+            panic!("platform released its trace handle")
+        };
+        sink.into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_trace(
+                cfg.label.clone(),
+                cfg.phase_names.clone(),
+                &inner.clocks,
+                inner.alloc.labeled_spans(),
+            )
+    });
+    (
+        RunStats {
+            procs: inner.stats,
+            clocks: inner.clocks,
+            races,
+            sharing,
+            trace,
+            phase_names: cfg.phase_names.clone(),
+        },
+        profile,
+    )
+}
+
 /// The classic engine: one OS thread per simulated processor, exactly one
 /// running at a time, every simulated event priced inline. Both the
 /// `shards = 1` oracle and the replay half of the sharded engine.
@@ -1271,47 +1594,8 @@ where
 {
     let nprocs = cfg.nprocs;
     let bulk = cfg.bulk;
-    assert_eq!(
-        platform.nprocs(),
-        nprocs,
-        "platform and RunConfig disagree on processor count"
-    );
-    assert!(nprocs >= 1);
-    let mut platform = platform;
-    platform.set_sharing_profile(cfg.sharing_profile);
-    let trace_handle = cfg.trace.then(|| {
-        Arc::new(Mutex::new(crate::trace::TraceSink::new(
-            nprocs,
-            cfg.trace_cap,
-            cfg.edge_cap,
-        )))
-    });
-    platform.set_trace(trace_handle.clone());
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner {
-            platform,
-            alloc: GlobalAlloc::new(nprocs),
-            clocks: vec![0; nprocs],
-            stats: vec![ProcStats::default(); nprocs],
-            status: {
-                let mut v = vec![Status::Ready; nprocs];
-                v[0] = Status::Running;
-                v
-            },
-            blocked_at: vec![0; nprocs],
-            locks: FxMap::default(),
-            barriers: FxMap::default(),
-            start_arrivals: 0,
-            stop_arrivals: 0,
-            timing_on: false,
-            quantum: cfg.quantum,
-            ndone: 0,
-            poisoned: None,
-            detector: cfg
-                .detect_races
-                .then(|| RaceDetector::new(nprocs, cfg.label.clone())),
-            trace: trace_handle,
-        }),
+        inner: Mutex::new(build_inner(platform, &cfg)),
         cvs: (0..nprocs).map(|_| Condvar::new()).collect(),
     });
 
@@ -1378,52 +1662,13 @@ where
         panic!("simulated processor panicked: {msg}");
     }
 
-    let mut inner = Arc::try_unwrap(shared)
+    let inner = Arc::try_unwrap(shared)
         .ok()
         .expect("all processor threads exited")
         .inner
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
-    inner.platform.finalize(&mut inner.stats);
-    let profile = inner.platform.profile();
-    let sharing = cfg.sharing_profile.then(|| {
-        let mut prof = inner.platform.sharing_profile().unwrap_or_default();
-        for p in &mut prof.pages {
-            p.label = inner.alloc.label_of(p.page_base);
-        }
-        prof
-    });
-    let races = inner
-        .detector
-        .map(RaceDetector::into_reports)
-        .unwrap_or_default();
-    // Drop the platform's clone of the trace handle so the sink can be
-    // unwrapped and frozen into the RunStats.
-    inner.platform.set_trace(None);
-    let trace = inner.trace.take().map(|h| {
-        let Ok(sink) = Arc::try_unwrap(h) else {
-            panic!("platform released its trace handle")
-        };
-        sink.into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .into_trace(
-                cfg.label.clone(),
-                cfg.phase_names.clone(),
-                &inner.clocks,
-                inner.alloc.labeled_spans(),
-            )
-    });
-    (
-        RunStats {
-            procs: inner.stats,
-            clocks: inner.clocks,
-            races,
-            sharing,
-            trace,
-            phase_names: cfg.phase_names,
-        },
-        profile,
-    )
+    collect_stats(inner, &cfg)
 }
 
 /// The sharded engine: the application bodies run concurrently on
@@ -1450,6 +1695,7 @@ where
 
     let nprocs = cfg.nprocs;
     let bulk = cfg.bulk;
+    let batch_cap = cfg.shard_batch;
     let plane = Arc::new(ValuePlane::new());
     let gate = Arc::new(Gate::new(cfg.shards));
 
@@ -1480,7 +1726,9 @@ where
                         pid,
                         nprocs,
                         bulk,
-                        backend: Backend::Gen(Box::new(GenCtx::new(plane, tx, reply_rx, gate))),
+                        backend: Backend::Gen(Box::new(GenCtx::new(
+                            plane, tx, reply_rx, gate, batch_cap,
+                        ))),
                     };
                     if let Some(ctx) = proc.gen() {
                         ctx.unpark();
@@ -1521,92 +1769,114 @@ where
         }
 
         let slots = &replay_ends;
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_classic_profiled(platform, cfg, move |p: &mut Proc| {
-                let (rx, reply_tx) = slots[p.pid()]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .take()
-                    .expect("interpreter body entered twice");
-                let mut scratch: Vec<u64> = Vec::new();
-                let (mut n_recvs, mut n_blocked) = (0u64, 0u64);
-                loop {
-                    let batch = match rx.try_recv() {
-                        Ok(b) => b,
-                        Err(std::sync::mpsc::TryRecvError::Empty) => {
-                            n_blocked += 1;
-                            match rx.recv() {
-                                Ok(b) => b,
-                                Err(_) => break,
+        let out = if cfg.shard_fused {
+            // The fused replay engine: all interpreter state machines run in
+            // THIS thread's virtual-time event loop (see [`crate::fused`]).
+            // Claim every replay end upfront; on unwind the machines drop
+            // their channel halves, aborting the generation threads before
+            // the scope joins them.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let ends: Vec<ReplayEnd> = slots
+                    .iter()
+                    .map(|s| {
+                        s.lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .take()
+                            .expect("replay end claimed once")
+                    })
+                    .collect();
+                crate::fused::replay_fused(platform, &cfg, ends)
+            }))
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_classic_profiled(platform, cfg, move |p: &mut Proc| {
+                    let (rx, reply_tx) = slots[p.pid()]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .expect("interpreter body entered twice");
+                    let mut scratch: Vec<u64> = Vec::new();
+                    let (mut n_recvs, mut n_blocked) = (0u64, 0u64);
+                    loop {
+                        let batch = match rx.try_recv() {
+                            Ok(b) => b,
+                            Err(std::sync::mpsc::TryRecvError::Empty) => {
+                                n_blocked += 1;
+                                match rx.recv() {
+                                    Ok(b) => b,
+                                    Err(_) => break,
+                                }
                             }
-                        }
-                        Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
-                    };
-                    n_recvs += 1;
-                    for d in batch {
-                        match d {
-                            Desc::Work(c) => p.work(c),
-                            Desc::WorkFused { per_elem, count } => p.work_fused(per_elem, count),
-                            Desc::SetPhase(ph) => p.set_phase(ph),
-                            Desc::Alloc {
-                                label,
-                                bytes,
-                                align,
-                                placement,
-                            } => {
-                                let a = p.alloc_shared_labeled(label, bytes, align, placement);
-                                let _ = reply_tx.send(Reply::Addr(a));
+                            Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
+                        };
+                        n_recvs += 1;
+                        for d in batch {
+                            match d {
+                                Desc::Work(c) => p.work(c),
+                                Desc::WorkFused { per_elem, count } => {
+                                    p.work_fused(per_elem, count)
+                                }
+                                Desc::SetPhase(ph) => p.set_phase(ph),
+                                Desc::Alloc {
+                                    label,
+                                    bytes,
+                                    align,
+                                    placement,
+                                } => {
+                                    let a = p.alloc_shared_labeled(label, bytes, align, placement);
+                                    let _ = reply_tx.send(Reply::Addr(a));
+                                }
+                                Desc::Load { addr, len } => {
+                                    p.load(addr, len);
+                                }
+                                Desc::Store { addr, len, val } => p.store(addr, len, val),
+                                Desc::LoadSlice {
+                                    addr,
+                                    stride,
+                                    len,
+                                    n,
+                                } => {
+                                    scratch.resize(n, 0);
+                                    p.load_slice(addr, stride, len, &mut scratch[..n]);
+                                }
+                                Desc::StoreSlice {
+                                    addr,
+                                    stride,
+                                    len,
+                                    vals,
+                                } => p.store_slice(addr, stride, len, &vals),
+                                Desc::Lock(id) => {
+                                    p.lock(id);
+                                    let _ = reply_tx.send(Reply::Sync);
+                                }
+                                Desc::Unlock(id) => p.unlock(id),
+                                Desc::Barrier(id) => {
+                                    p.barrier(id);
+                                    let _ = reply_tx.send(Reply::Sync);
+                                }
+                                Desc::StartTiming => {
+                                    p.start_timing();
+                                    let _ = reply_tx.send(Reply::Sync);
+                                }
+                                Desc::StopTiming => {
+                                    p.stop_timing();
+                                    let _ = reply_tx.send(Reply::Sync);
+                                }
+                                Desc::Poison(msg) => panic!("{msg}"),
                             }
-                            Desc::Load { addr, len } => {
-                                p.load(addr, len);
-                            }
-                            Desc::Store { addr, len, val } => p.store(addr, len, val),
-                            Desc::LoadSlice {
-                                addr,
-                                stride,
-                                len,
-                                n,
-                            } => {
-                                scratch.resize(n, 0);
-                                p.load_slice(addr, stride, len, &mut scratch[..n]);
-                            }
-                            Desc::StoreSlice {
-                                addr,
-                                stride,
-                                len,
-                                vals,
-                            } => p.store_slice(addr, stride, len, &vals),
-                            Desc::Lock(id) => {
-                                p.lock(id);
-                                let _ = reply_tx.send(Reply::Sync);
-                            }
-                            Desc::Unlock(id) => p.unlock(id),
-                            Desc::Barrier(id) => {
-                                p.barrier(id);
-                                let _ = reply_tx.send(Reply::Sync);
-                            }
-                            Desc::StartTiming => {
-                                p.start_timing();
-                                let _ = reply_tx.send(Reply::Sync);
-                            }
-                            Desc::StopTiming => {
-                                p.stop_timing();
-                                let _ = reply_tx.send(Reply::Sync);
-                            }
-                            Desc::Poison(msg) => panic!("{msg}"),
                         }
                     }
-                }
-                if std::env::var_os("SIM_SHARD_DEBUG").is_some() {
-                    eprintln!(
-                        "[shard] p{}: {} batches, {} blocked recvs",
-                        p.pid(),
-                        n_recvs,
-                        n_blocked
-                    );
-                }
-            })
-        }));
+                    if std::env::var_os("SIM_SHARD_DEBUG").is_some() {
+                        eprintln!(
+                            "[shard] p{}: {} batches, {} blocked recvs",
+                            p.pid(),
+                            n_recvs,
+                            n_blocked
+                        );
+                    }
+                })
+            }))
+        };
         // Drop any unclaimed replay ends (a poisoned run can kill a
         // processor before its interpreter starts) so every generation
         // thread's sends and reply-waits error out and it aborts — the

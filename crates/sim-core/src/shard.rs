@@ -50,9 +50,11 @@ use crate::addr::Addr;
 use crate::alloc::Placement;
 use crate::util::FxMap;
 
-/// Descriptors per channel message: big enough to amortize channel costs,
-/// small enough to keep the replay engine busy early.
-pub(crate) const BATCH: usize = 512;
+/// Default descriptors per channel message: big enough to amortize channel
+/// costs, small enough to keep the replay engine busy early. Overridable
+/// per run via [`RunConfig::with_shard_batch`](crate::RunConfig::with_shard_batch)
+/// or `SIM_SHARD_BATCH`.
+pub(crate) const DEFAULT_BATCH: usize = 512;
 
 /// Channel capacity in *batches*: how far (in events) generation may run
 /// ahead of replay before backpressure parks it. Deep enough that a
@@ -301,6 +303,9 @@ pub(crate) struct GenCtx {
     pub(crate) reply_rx: Receiver<Reply>,
     pub(crate) gate: Arc<Gate>,
     pub(crate) batch: Vec<Desc>,
+    /// Flush threshold (descriptors per channel message) for this run; see
+    /// [`DEFAULT_BATCH`].
+    pub(crate) batch_cap: usize,
     /// Whether this thread currently holds a gate permit (so cleanup after
     /// a panic releases exactly once).
     pub(crate) gate_held: bool,
@@ -317,13 +322,15 @@ impl GenCtx {
         tx: SyncSender<Vec<Desc>>,
         reply_rx: Receiver<Reply>,
         gate: Arc<Gate>,
+        batch_cap: usize,
     ) -> Self {
         Self {
             plane,
             tx,
             reply_rx,
             gate,
-            batch: Vec::with_capacity(BATCH),
+            batch: Vec::with_capacity(batch_cap),
+            batch_cap,
             gate_held: false,
             timing: false,
         }
@@ -350,7 +357,7 @@ impl GenCtx {
         if self.batch.is_empty() {
             return;
         }
-        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(self.batch_cap));
         self.park();
         if self.tx.send(batch).is_err() {
             std::panic::panic_any(ShardAbort);
@@ -370,7 +377,7 @@ impl GenCtx {
     /// Record a non-blocking descriptor.
     pub(crate) fn emit(&mut self, d: Desc) {
         self.batch.push(d);
-        if self.batch.len() >= BATCH {
+        if self.batch.len() >= self.batch_cap {
             self.flush();
         }
     }
@@ -379,7 +386,7 @@ impl GenCtx {
     /// the host-side edge of every simulated happens-before edge.
     pub(crate) fn roundtrip(&mut self, d: Desc) -> Reply {
         self.batch.push(d);
-        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(self.batch_cap));
         self.park();
         if self.tx.send(batch).is_err() {
             std::panic::panic_any(ShardAbort);

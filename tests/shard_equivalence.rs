@@ -189,6 +189,208 @@ fn stress_body(seed: u64, words: u64, iters: u64) -> impl Fn(&mut sim_core::Proc
     }
 }
 
+/// The fused (single-thread event-loop) and classic (thread-per-processor)
+/// replay engines, explicitly selected, against the sequential oracle with
+/// every diagnostic layer stacked: the engines must be mutually — and
+/// oracle- — bit-identical on every platform.
+#[test]
+fn fused_and_classic_replay_engines_are_bit_identical() {
+    let instrumented = |shards: usize, fused: bool| {
+        RunConfig::new(4)
+            .with_shards(shards)
+            .with_shard_fused(fused)
+            .with_race_detection()
+            .with_sharing_profile()
+            .with_trace()
+    };
+    for pf in PLATFORMS {
+        for (app, class) in [(App::Lu, OptClass::Algorithm), (App::Radix, OptClass::Orig)] {
+            let oracle = cell(app, class, pf, instrumented(1, true));
+            let fused = cell(app, class, pf, instrumented(4, true));
+            let classic = cell(app, class, pf, instrumented(4, false));
+            assert_eq!(
+                oracle,
+                fused,
+                "{}/{} on {}: fused replay diverged from the oracle",
+                app.name(),
+                class.label(),
+                pf.name()
+            );
+            assert_eq!(
+                oracle,
+                classic,
+                "{}/{} on {}: classic sharded replay diverged from the oracle",
+                app.name(),
+                class.label(),
+                pf.name()
+            );
+        }
+    }
+}
+
+/// The descriptor batch size is a pure channel-granularity knob: sweeping
+/// it from degenerate (1 descriptor per message) through large must be
+/// invisible in the statistics, under both replay engines.
+#[test]
+fn shard_batch_size_is_invisible() {
+    let body = stress_body(0xBA7C4, 256, 2);
+    let build = |batch: Option<usize>, fused: bool| {
+        let mut c = RunConfig::new(4)
+            .with_shards(4)
+            .with_shard_fused(fused)
+            .with_trace();
+        if let Some(b) = batch {
+            c = c.with_shard_batch(b);
+        }
+        c
+    };
+    let oracle = run(
+        SvmPlatform::boxed(SvmConfig::paper(4)),
+        RunConfig::new(4).with_shards(1).with_trace(),
+        &body,
+    );
+    for batch in [None, Some(1), Some(7), Some(512), Some(16384)] {
+        for fused in [true, false] {
+            let sharded = run(
+                SvmPlatform::boxed(SvmConfig::paper(4)),
+                build(batch, fused),
+                &body,
+            );
+            assert_eq!(
+                oracle, sharded,
+                "batch={batch:?} fused={fused}: batch size leaked into the statistics"
+            );
+        }
+    }
+}
+
+/// Out-of-range batch sizes are rejected at configuration time, not
+/// discovered as hangs or misbehavior mid-run.
+#[test]
+#[should_panic(expected = "shard_batch must be in")]
+fn zero_shard_batch_is_rejected() {
+    let _ = RunConfig::new(4).with_shard_batch(0);
+}
+
+// ---- teardown: panics, poison, deadlock ----
+//
+// A replay engine that leaks parked generation threads turns an
+// application panic into a process hang. These tests pass only if `run`
+// unwinds promptly (the harness would time out otherwise) with the same
+// panic message the classic engine produces.
+
+/// An application panic mid-timed-phase under the fused engine: the
+/// `Poison` descriptor must propagate through replay, unwind the event
+/// loop, abort every generation thread, and re-raise with the classic
+/// message format.
+#[test]
+fn app_panic_mid_phase_unwinds_cleanly_under_fused_replay() {
+    for fused in [true, false] {
+        let result = std::panic::catch_unwind(|| {
+            run(
+                SvmPlatform::boxed(SvmConfig::paper(4)),
+                RunConfig::new(4).with_shards(2).with_shard_fused(fused),
+                |p| {
+                    p.barrier(0);
+                    p.start_timing();
+                    p.work(500);
+                    p.barrier(1);
+                    if p.pid() == 2 {
+                        panic!("injected failure in phase");
+                    }
+                    // The survivors head for a barrier the panicked
+                    // processor will never reach.
+                    p.barrier(2);
+                    p.stop_timing();
+                },
+            )
+        });
+        let payload = result.expect_err("the simulated panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("simulated processor panicked") && msg.contains("injected failure"),
+            "fused={fused}: unexpected panic message: {msg}"
+        );
+        assert!(
+            msg.contains("p2"),
+            "fused={fused}: panic not attributed to the failing processor: {msg}"
+        );
+    }
+}
+
+/// A simulated deadlock (lock held by a finished processor) under the
+/// fused engine: detected, reported with the classic message, and all
+/// generation threads released.
+#[test]
+fn deadlock_is_detected_under_fused_replay() {
+    for fused in [true, false] {
+        let result = std::panic::catch_unwind(|| {
+            run(
+                SvmPlatform::boxed(SvmConfig::paper(2)),
+                RunConfig::new(2).with_shards(2).with_shard_fused(fused),
+                |p| {
+                    p.barrier(0);
+                    p.start_timing(); // clocks live: the order below is forced
+                    if p.pid() == 0 {
+                        p.lock(1); // acquired at clock 0, never unlocked
+                    } else {
+                        p.work(10_000); // guarantees p0 wins the lock race
+                        p.lock(1); // waits forever: the holder is done
+                        p.unlock(1);
+                    }
+                },
+            )
+        });
+        let payload = result.expect_err("the deadlock must be detected");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("simulated deadlock: no runnable processor"),
+            "fused={fused}: unexpected deadlock message: {msg}"
+        );
+    }
+}
+
+/// A panic before the application emits a single descriptor (early drop of
+/// the run): the replay side sees only a `Poison` stream and must still
+/// unwind without stranding the other generation threads mid-stream.
+#[test]
+fn immediate_panic_unwinds_cleanly_under_fused_replay() {
+    for fused in [true, false] {
+        let result = std::panic::catch_unwind(|| {
+            run(
+                SvmPlatform::boxed(SvmConfig::paper(4)),
+                RunConfig::new(4).with_shards(4).with_shard_fused(fused),
+                |p| {
+                    if p.pid() == 0 {
+                        panic!("failed before first op");
+                    }
+                    // The other generators keep streaming large batches so
+                    // the unwind races live channel traffic.
+                    for i in 0..50_000u64 {
+                        p.store(HEAP_BASE + (i % 512) * 8, 8, i);
+                    }
+                    p.barrier(0);
+                },
+            )
+        });
+        let payload = result.expect_err("the simulated panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("simulated processor panicked") && msg.contains("failed before first op"),
+            "fused={fused}: unexpected panic message: {msg}"
+        );
+    }
+}
+
 /// Seeded randomized sweep over platform and scheduler configuration
 /// points — processors per node, latencies, page sizes, quanta, trace
 /// caps — comparing sharded against sequential on the stress kernel. A
