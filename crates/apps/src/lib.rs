@@ -20,6 +20,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod barnes;
 pub mod common;
+pub mod kvstore;
 pub mod lu;
 pub mod ocean;
 pub mod radix;
@@ -48,11 +49,14 @@ pub enum App {
     Barnes,
     /// Radix sort.
     Radix,
+    /// Sharded key-value store serving Zipf request traffic.
+    Kv,
 }
 
 impl App {
-    /// All applications in the paper's presentation order.
-    pub const ALL: [App; 7] = [
+    /// All applications in the paper's presentation order, followed by the
+    /// repo's server-shaped extension workload.
+    pub const ALL: [App; 8] = [
         App::Lu,
         App::Ocean,
         App::Volrend,
@@ -60,6 +64,7 @@ impl App {
         App::Raytrace,
         App::Barnes,
         App::Radix,
+        App::Kv,
     ];
 
     /// Display name.
@@ -72,6 +77,7 @@ impl App {
             App::Raytrace => "Raytrace",
             App::Barnes => "Barnes",
             App::Radix => "Radix",
+            App::Kv => "KV",
         }
     }
 }
@@ -193,6 +199,16 @@ impl AppSpec {
             }
             App::Radix => {
                 radix::run_cfg(platform, nprocs, scale, radix::version_for(self.class), cfg).stats
+            }
+            App::Kv => {
+                kvstore::run_cfg(
+                    platform,
+                    nprocs,
+                    scale,
+                    kvstore::version_for(self.class),
+                    cfg,
+                )
+                .stats
             }
         }
     }

@@ -109,9 +109,10 @@ fn main() {
         Scale::Paper => "paper",
     };
 
-    // The three apps the bulk fast path targets hardest, on all three
-    // platforms of the study.
-    let apps = [App::Lu, App::Ocean, App::Radix];
+    // The three apps the bulk fast path targets hardest, plus the
+    // server-shaped KV workload (lock-heavy, bulk-light — the opposite
+    // corner of the engine), on all three platforms of the study.
+    let apps = [App::Lu, App::Ocean, App::Radix, App::Kv];
     let mut cells = Vec::new();
     for app in apps {
         for platform in Platform::ALL {

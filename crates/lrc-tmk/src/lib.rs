@@ -94,8 +94,20 @@ pub struct TmkPlatform {
 }
 
 impl TmkPlatform {
-    /// Build the platform.
+    /// Build the platform. TreadMarks-style nodes host one processor each,
+    /// so the node-grouping knob of the shared [`SvmConfig`] must be left
+    /// at 1.
+    ///
+    /// # Panics
+    /// If [`SvmConfig::validate`] rejects the configuration or
+    /// `procs_per_node` is not 1.
     pub fn new(cfg: SvmConfig) -> Self {
+        cfg.validate();
+        assert_eq!(
+            cfg.procs_per_node, 1,
+            "TmkPlatform models one processor per node; procs_per_node = {} is not supported",
+            cfg.procs_per_node
+        );
         let n = cfg.nprocs;
         let page_shift = cfg.page_shift();
         let nodes = (0..n)
@@ -1033,5 +1045,11 @@ mod tests {
             .clocks
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "one processor per node")]
+    fn construction_rejects_multi_processor_nodes() {
+        let _ = TmkPlatform::new(SvmConfig::paper_smp_nodes(8, 2));
     }
 }

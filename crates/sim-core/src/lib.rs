@@ -64,7 +64,7 @@ pub use detector::{RaceDetector, RaceKind, RaceReport, VectorClock};
 pub use mem::FlatMem;
 pub use platform::{NullPlatform, Platform, Timing};
 pub use resource::Resource;
-pub use sched::{run, run_profiled, Proc, RunConfig};
+pub use sched::{run, run_profiled, Proc, RunConfig, MAX_SHARDS, MAX_SHARD_BATCH};
 pub use sharing::{LabelSharing, PageSharing, SharingClass, SharingProfile};
 pub use stats::{Bucket, Counter, ProcStats, RunStats, MAX_PHASES};
 pub use trace::{

@@ -102,6 +102,64 @@ pub struct RunConfig {
 /// per message the channel stops being a pipeline at all.
 pub const MAX_SHARD_BATCH: usize = 1 << 20;
 
+/// Largest accepted [`RunConfig::shards`] from the environment — far above
+/// any host this will run on; the bound exists so a fat-fingered
+/// `SIM_SHARDS=40000000` fails fast instead of spawning a thread army.
+pub const MAX_SHARDS: usize = 65_536;
+
+/// Parse a *set* environment value as a `usize` in `range`. A set-but-bad
+/// value is a configuration error and panics, naming the variable and the
+/// value: silently falling back (the old `.ok()` chains) meant a typoed
+/// `SIM_SHARDS` quietly ran the sequential engine instead of the one CI
+/// believed it was exercising.
+fn parse_env_usize(name: &str, raw: &str, range: std::ops::RangeInclusive<usize>) -> usize {
+    let n: usize = raw
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name}={raw:?} is not a valid integer"));
+    assert!(
+        range.contains(&n),
+        "{name}={raw:?} is out of range {}..={}",
+        range.start(),
+        range.end()
+    );
+    n
+}
+
+/// Parse a *set* environment value as a boolean. Panics on anything outside
+/// the accepted spellings, naming the variable and the value.
+fn parse_env_bool(name: &str, raw: &str) -> bool {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => true,
+        "0" | "false" | "off" | "no" => false,
+        _ => panic!("{name}={raw:?} is not a boolean (1|0|true|false|on|off|yes|no)"),
+    }
+}
+
+/// Read an optional `usize` environment variable; unset means `default`,
+/// set-but-malformed panics via [`parse_env_usize`].
+fn env_usize(name: &str, default: usize, range: std::ops::RangeInclusive<usize>) -> usize {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_usize(name, &raw, range),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{name}={raw:?} is not valid unicode")
+        }
+    }
+}
+
+/// Read an optional boolean environment variable; unset means `default`,
+/// set-but-malformed panics via [`parse_env_bool`].
+fn env_bool(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_bool(name, &raw),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{name}={raw:?} is not valid unicode")
+        }
+    }
+}
+
 impl RunConfig {
     /// Default configuration for `nprocs` processors.
     pub fn new(nprocs: usize) -> Self {
@@ -116,19 +174,13 @@ impl RunConfig {
             trace_cap: crate::trace::DEFAULT_EVENT_CAP,
             edge_cap: crate::trace::DEFAULT_EDGE_CAP,
             phase_names: Vec::new(),
-            shards: std::env::var("SIM_SHARDS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .filter(|&n: &usize| n >= 1)
-                .unwrap_or(1),
-            shard_fused: std::env::var("SIM_SHARD_FUSED")
-                .map(|s| !matches!(s.as_str(), "0" | "false" | "off"))
-                .unwrap_or(true),
-            shard_batch: std::env::var("SIM_SHARD_BATCH")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .filter(|&n: &usize| (1..=MAX_SHARD_BATCH).contains(&n))
-                .unwrap_or(crate::shard::DEFAULT_BATCH),
+            shards: env_usize("SIM_SHARDS", 1, 1..=MAX_SHARDS),
+            shard_fused: env_bool("SIM_SHARD_FUSED", true),
+            shard_batch: env_usize(
+                "SIM_SHARD_BATCH",
+                crate::shard::DEFAULT_BATCH,
+                1..=MAX_SHARD_BATCH,
+            ),
         }
     }
 
@@ -2091,5 +2143,61 @@ mod tests {
                 p.barrier(0);
             }
         });
+    }
+
+    // The env parse helpers are tested on string inputs (not by mutating the
+    // process environment, which would race with concurrently running
+    // tests); the actual env wiring is covered by
+    // `crates/sim-core/tests/env_config.rs`, which serializes itself.
+    #[test]
+    fn env_parse_accepts_valid_values() {
+        assert_eq!(parse_env_usize("SIM_SHARDS", "1", 1..=MAX_SHARDS), 1);
+        assert_eq!(parse_env_usize("SIM_SHARDS", " 8 ", 1..=MAX_SHARDS), 8);
+        assert_eq!(
+            parse_env_usize("SIM_SHARD_BATCH", "1048576", 1..=MAX_SHARD_BATCH),
+            MAX_SHARD_BATCH
+        );
+        assert!(parse_env_bool("SIM_SHARD_FUSED", "1"));
+        assert!(parse_env_bool("SIM_SHARD_FUSED", "TRUE"));
+        assert!(parse_env_bool("SIM_SHARD_FUSED", "on"));
+        assert!(!parse_env_bool("SIM_SHARD_FUSED", "0"));
+        assert!(!parse_env_bool("SIM_SHARD_FUSED", "off"));
+        assert!(!parse_env_bool("SIM_SHARD_FUSED", "False"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_SHARDS=\"\" is not a valid integer")]
+    fn env_parse_rejects_empty_string() {
+        parse_env_usize("SIM_SHARDS", "", 1..=MAX_SHARDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_SHARDS=\"four\" is not a valid integer")]
+    fn env_parse_rejects_garbage() {
+        parse_env_usize("SIM_SHARDS", "four", 1..=MAX_SHARDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_SHARDS=\"0\" is out of range 1..=65536")]
+    fn env_parse_rejects_zero_shards() {
+        parse_env_usize("SIM_SHARDS", "0", 1..=MAX_SHARDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn env_parse_rejects_oversized_batch() {
+        parse_env_usize("SIM_SHARD_BATCH", "1048577", 1..=MAX_SHARD_BATCH);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_SHARDS=\"-2\" is not a valid integer")]
+    fn env_parse_rejects_negative() {
+        parse_env_usize("SIM_SHARDS", "-2", 1..=MAX_SHARDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_SHARD_FUSED=\"maybe\" is not a boolean")]
+    fn env_parse_rejects_non_boolean() {
+        parse_env_bool("SIM_SHARD_FUSED", "maybe");
     }
 }

@@ -110,6 +110,36 @@ impl SvmConfig {
         self.page_size.trailing_zeros()
     }
 
+    /// Check the node-grouping parameters for consistency. Platform
+    /// constructors call this so a bad configuration fails at build time
+    /// with a named message instead of a bare divide-by-zero or a
+    /// misassigned last node deep inside the protocol.
+    ///
+    /// # Panics
+    /// If `procs_per_node` is zero, or does not evenly divide `nprocs`
+    /// (a remainder would leave the last node with fewer processors than
+    /// the home/manager arithmetic assumes).
+    pub fn validate(&self) {
+        assert!(
+            self.nprocs >= 1,
+            "SvmConfig: nprocs must be at least 1, got {}",
+            self.nprocs
+        );
+        assert!(
+            self.procs_per_node >= 1,
+            "SvmConfig: procs_per_node must be at least 1, got 0 \
+             (use 1 for the paper's uniprocessor-node configuration)"
+        );
+        assert!(
+            self.nprocs.is_multiple_of(self.procs_per_node),
+            "SvmConfig: procs_per_node = {} does not divide nprocs = {} \
+             (the last node would be left with {} processors)",
+            self.procs_per_node,
+            self.nprocs,
+            self.nprocs % self.procs_per_node
+        );
+    }
+
     /// Number of SVM nodes.
     pub fn nnodes(&self) -> usize {
         assert_eq!(self.nprocs % self.procs_per_node, 0);
@@ -159,5 +189,39 @@ mod tests {
             + 2 * c.page_size * c.io_cyc_per_byte
             + c.page_size / 2;
         assert!(fetch > 10_000 && fetch < 60_000, "fetch = {fetch}");
+    }
+
+    #[test]
+    fn validate_accepts_boundary_groupings() {
+        SvmConfig::paper(1).validate(); // uniprocessor
+        SvmConfig::paper_smp_nodes(16, 1).validate(); // the paper's config
+        SvmConfig::paper_smp_nodes(16, 16).validate(); // one big SMP node
+        SvmConfig::paper_smp_nodes(12, 4).validate(); // non-power-of-two
+    }
+
+    #[test]
+    #[should_panic(expected = "procs_per_node must be at least 1, got 0")]
+    fn validate_rejects_zero_procs_per_node() {
+        SvmConfig::paper_smp_nodes(8, 0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "procs_per_node = 3 does not divide nprocs = 8")]
+    fn validate_rejects_non_divisible_grouping() {
+        SvmConfig::paper_smp_nodes(8, 3).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide nprocs")]
+    fn validate_rejects_groups_larger_than_the_machine() {
+        // 32 does not divide 16: one "node" would need more processors
+        // than the run has.
+        SvmConfig::paper_smp_nodes(16, 32).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "nprocs must be at least 1")]
+    fn validate_rejects_zero_procs() {
+        SvmConfig::paper(0).validate();
     }
 }

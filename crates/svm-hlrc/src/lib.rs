@@ -103,7 +103,12 @@ pub struct SvmPlatform {
 
 impl SvmPlatform {
     /// Build the platform from a configuration.
+    ///
+    /// # Panics
+    /// If [`SvmConfig::validate`] rejects the node grouping, or the
+    /// protocol page size is out of range.
     pub fn new(cfg: SvmConfig) -> Self {
+        cfg.validate();
         let nn = cfg.nnodes();
         let nodes = (0..nn)
             .map(|_| Node {
@@ -1224,5 +1229,11 @@ mod tests {
             p.barrier(2);
         });
         assert_eq!(*got.lock().unwrap(), (11, 22));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide nprocs")]
+    fn construction_rejects_non_divisible_grouping() {
+        let _ = SvmPlatform::new(SvmConfig::paper_smp_nodes(8, 3));
     }
 }

@@ -4,6 +4,7 @@
 //! snooping bus) agreeing bit-for-bit on real application output.
 
 use apps::barnes::{self, BarnesParams, BarnesVersion};
+use apps::kvstore::{self, KvParams, KvVersion};
 use apps::lu::{self, LuParams, LuVersion};
 use apps::ocean::{self, OceanParams, OceanVersion};
 use apps::radix::{self, RadixParams, RadixVersion};
@@ -108,6 +109,23 @@ fn raytrace_checksums_agree_everywhere() {
 }
 
 #[test]
+fn kv_checksums_agree_everywhere() {
+    let params = KvParams {
+        keys: 128,
+        reqs_per_proc: 48,
+        theta: 0.9,
+        read_pct: 70,
+        seed: 11,
+        racy_headers: false,
+    };
+    let sums: Vec<u64> = PLATFORMS
+        .iter()
+        .map(|&pf| kvstore::run_params(pf, 4, &params, KvVersion::Stealing).checksum)
+        .collect();
+    assert!(sums.windows(2).all(|w| w[0] == w[1]), "{sums:?}");
+}
+
+#[test]
 fn barnes_runs_on_every_platform() {
     // Barnes checksums vary in the last float bits across platforms
     // (mass-summation order differs with scheduling); each platform is
@@ -195,6 +213,11 @@ fn scalar_vs_bulk_barnes() {
 #[test]
 fn scalar_vs_bulk_radix() {
     assert_scalar_bulk_identical(App::Radix);
+}
+
+#[test]
+fn scalar_vs_bulk_kv() {
+    assert_scalar_bulk_identical(App::Kv);
 }
 
 #[test]
