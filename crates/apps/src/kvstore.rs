@@ -370,6 +370,7 @@ fn serve_batch(
             p.write_u32(haddr, c + run);
         }
         p.work(SERVICE_WORK * run as u64);
+        p.metric_add("kv_requests", run as u64);
         i = j;
     }
 }

@@ -27,6 +27,12 @@
 //! post-hoc host work whose reconstructed path length must equal the
 //! end-to-end virtual time; the JSON records the analysis cost.
 //!
+//! A fifth cell runs Ocean on SVM with the interval-metrics engine on:
+//! the `RunStats` with the report stripped must be bit-identical to the
+//! plain run (metrics never charge cycles), the default caps must not
+//! drop, and the JSON records the host overhead next to the other
+//! diagnostic layers'.
+//!
 //! Every main cell is additionally re-timed on the sharded generate/replay
 //! engine (`with_shards(4)`), twice: once with the classic thread-per-
 //! processor replay side and once with the fused single-threaded
@@ -271,6 +277,29 @@ fn main() {
     assert_eq!(cp.baseline, tr.end(), "what-if baseline != end-to-end time");
     assert_eq!(cp.edges_dropped, 0, "default edge cap overflowed");
 
+    // Metrics-on cell: the interval-metrics engine must be invisible in
+    // the statistics (only the `metrics` field may differ) and cheap on
+    // the host; the JSON records its overhead next to the other layers'.
+    eprintln!("[perfjson] Ocean on SVM with interval metrics...");
+    let t8 = Instant::now();
+    let mut metered = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs).with_metrics(sim_core::metrics::DEFAULT_INTERVAL),
+    );
+    let host_s_metrics = t8.elapsed().as_secs_f64();
+    let metrics = metered.metrics.take().expect("metrics were requested");
+    assert_eq!(
+        metered, plain,
+        "interval metrics perturbed RunStats for Ocean on SVM"
+    );
+    assert_eq!(
+        metrics.total_dropped(),
+        0,
+        "default metrics caps overflowed"
+    );
+
     // Batch sweep: the descriptor batch size is a channel-granularity knob
     // on the generate side — it must be invisible in the statistics, and
     // the sweep records what it costs (or buys) in host time on one fused
@@ -330,6 +359,19 @@ fn main() {
         host_s_traced / host_s_plain.max(1e-12),
         tr.total_events(),
         tr.dropped_events()
+    );
+    let _ = writeln!(
+        json,
+        "  \"metrics_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"host_s_plain\": {:.4}, \"host_s_metrics\": {:.4}, \
+         \"metrics_overhead\": {:.2}, \"intervals\": {}, \"pages\": {}, \
+         \"dropped\": {}}},",
+        host_s_plain,
+        host_s_metrics,
+        host_s_metrics / host_s_plain.max(1e-12),
+        metrics.max_interval() + 1,
+        metrics.pages.len(),
+        metrics.total_dropped()
     );
     let _ = writeln!(
         json,

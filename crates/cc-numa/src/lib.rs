@@ -101,6 +101,8 @@ pub struct DsmPlatform {
     line_mask: u64,
     /// Shared event-trace sink for the run (None when tracing is off).
     trace: Option<sim_core::TraceHandle>,
+    /// Shared interval-metrics sink for the run (None when metrics are off).
+    metrics: Option<sim_core::MetricsHandle>,
 }
 
 impl DsmPlatform {
@@ -122,6 +124,7 @@ impl DsmPlatform {
             directory: FxMap::default(),
             line_mask,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -210,6 +213,7 @@ impl DsmPlatform {
                 sim_core::EventKind::RemoteMiss { line, home },
             );
             sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, stall);
+            sim_core::metrics::page_fetch(&self.metrics, t.timing_on, *t.now, line);
             // Critical-path provenance: the caller charges `stall` from
             // `now`, so the service interval is (now, now + stall]; the
             // home directory stands in as the serving side.
@@ -486,6 +490,10 @@ impl Platform for DsmPlatform {
 
     fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
         self.trace = trace;
+    }
+
+    fn set_metrics(&mut self, metrics: Option<sim_core::MetricsHandle>) {
+        self.metrics = metrics;
     }
 }
 

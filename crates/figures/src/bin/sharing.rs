@@ -15,8 +15,20 @@
 
 use apps::{AppSpec, OptClass, Platform};
 use figures::{cli, header, sweep};
-use sim_core::{RunConfig, SharingProfile};
+use sim_core::{MetricsReport, PageTrajectory, RunConfig, SharingProfile};
 use std::fmt::Write as _;
+
+/// Two-letter trajectory code for the narrow per-class table cells.
+fn code(t: PageTrajectory) -> &'static str {
+    match t {
+        PageTrajectory::ReadShared => "RS",
+        PageTrajectory::SingleWriter => "1W",
+        PageTrajectory::Migratory => "MG",
+        PageTrajectory::SteadyFalse => "FS",
+        PageTrajectory::SteadyTrue => "TS",
+        PageTrajectory::PhaseShifting => "PH",
+    }
+}
 
 fn main() {
     let p = cli::parse(&["--json"], &[]);
@@ -44,43 +56,58 @@ fn main() {
         OptClass::ALL.len(),
         sweep::host_threads()
     );
-    let profiles: Vec<(OptClass, SharingProfile)> = sweep::parallel_map(&OptClass::ALL, |&class| {
-        let stats = AppSpec { app, class }.run_cfg(
-            platform,
-            nprocs,
-            scale,
-            RunConfig::new(nprocs).with_sharing_profile(),
-        );
-        (class, stats.sharing.expect("page-based platform profiles"))
-    });
+    let profiles: Vec<(OptClass, SharingProfile, MetricsReport)> =
+        sweep::parallel_map(&OptClass::ALL, |&class| {
+            let stats = AppSpec { app, class }.run_cfg(
+                platform,
+                nprocs,
+                scale,
+                RunConfig::new(nprocs)
+                    .with_sharing_profile()
+                    .with_metrics(sim_core::metrics::DEFAULT_INTERVAL),
+            );
+            (
+                class,
+                stats.sharing.expect("page-based platform profiles"),
+                stats.metrics.expect("metrics were requested"),
+            )
+        });
 
-    for (class, prof) in &profiles {
+    for (class, prof, _) in &profiles {
         println!("--- {} ---", class.label());
         println!("{}", prof.report());
     }
 
-    // Before/after summary: false-sharing share of diff traffic per label,
-    // one column per class. Labels ordered by the Orig run's heat.
+    // Before/after summary: false-sharing share of diff traffic per label
+    // with the interval-aware trajectory alongside, one column pair per
+    // class. The union of labels is sorted so the table is deterministic
+    // regardless of the order classes report them in.
     let mut labels: Vec<&'static str> = Vec::new();
-    for (_, prof) in &profiles {
+    for (_, prof, _) in &profiles {
         for l in prof.labels() {
             if !labels.contains(&l.label) {
                 labels.push(l.label);
             }
         }
     }
-    println!("false-sharing share of diff words, by label and class:");
+    labels.sort_unstable();
+    println!("false-sharing share of diff words and dominant trajectory, by label and class");
+    println!(
+        "(RS read-shared, 1W single-writer, MG migratory, FS steady-false, \
+         TS steady-true, PH phase-shifting):"
+    );
     print!("{:<20}", "label");
-    for (class, _) in &profiles {
-        print!(" {:>10}", class.label());
+    for (class, _, _) in &profiles {
+        print!(" {:>13}", class.label());
     }
     println!();
     for &label in &labels {
         print!("{:<20}", if label.is_empty() { "-" } else { label });
-        for (_, prof) in &profiles {
+        for (_, prof, metrics) in &profiles {
+            let traj = metrics.label_trajectory(label).map(code).unwrap_or("--");
             match prof.label(label) {
-                Some(l) => print!(" {:>9.1}%", 100.0 * l.false_share()),
-                None => print!(" {:>10}", "-"),
+                Some(l) => print!(" {:>9.1}% {traj}", 100.0 * l.false_share()),
+                None => print!(" {:>10} {traj}", "-"),
             }
         }
         println!();
@@ -92,11 +119,24 @@ fn main() {
         let _ = writeln!(json, "  \"platform\": \"{}\",", platform.name());
         let _ = writeln!(json, "  \"nprocs\": {nprocs},");
         json.push_str("  \"classes\": [\n");
-        for (i, (class, prof)) in profiles.iter().enumerate() {
+        for (i, (class, prof, metrics)) in profiles.iter().enumerate() {
+            let trajs: Vec<String> = labels
+                .iter()
+                .filter_map(|&l| {
+                    metrics.label_trajectory(l).map(|t| {
+                        format!(
+                            "{{\"label\": \"{}\", \"trajectory\": \"{}\"}}",
+                            l,
+                            t.label()
+                        )
+                    })
+                })
+                .collect();
             let _ = writeln!(
                 json,
-                "    {{\"class\": \"{}\", \"profile\": {}}}{}",
+                "    {{\"class\": \"{}\", \"trajectories\": [{}], \"profile\": {}}}{}",
                 class.label(),
+                trajs.join(", "),
                 prof.to_json().trim_end(),
                 if i + 1 < profiles.len() { "," } else { "" }
             );

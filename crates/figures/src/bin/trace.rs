@@ -22,15 +22,21 @@
 //! Ocean Orig vs DS, where data-structure reorganization shifts the
 //! lock-wait and fetch distributions toward the cheap buckets.
 //!
+//! With `--metrics INTERVAL_CYCLES`, additionally runs the interval-metrics
+//! engine and embeds its series as Perfetto counter tracks (`"ph":"C"`)
+//! under the duration events: per-processor cycle-breakdown rates, hottest
+//! pages, lock hand-offs.
+//!
 //! ```text
 //! cargo run --release -p figures --bin trace [-- --scale test|default|paper \
 //!     --procs N --app ocean --class orig|pa|ds|alg --platform svm|tmk|dsm|smp \
-//!     --out trace.json --json hists.json --compare-class ds --width 100]
+//!     --out trace.json --json hists.json --compare-class ds --width 100 \
+//!     --metrics 65536]
 //! ```
 
 use apps::{App, AppSpec, OptClass, Platform, Scale};
 use figures::{cli, header, wait_hists_json};
-use sim_core::{RunConfig, RunTrace};
+use sim_core::{RunConfig, RunStats};
 
 fn run_traced(
     app: App,
@@ -38,18 +44,38 @@ fn run_traced(
     platform: Platform,
     nprocs: usize,
     scale: Scale,
-) -> RunTrace {
-    let stats = AppSpec { app, class }.run_cfg(
-        platform,
-        nprocs,
-        scale,
-        RunConfig::new(nprocs).with_trace(),
-    );
-    stats.trace.expect("tracing was requested")
+    metrics: u64,
+) -> RunStats {
+    let mut cfg = RunConfig::new(nprocs).with_trace();
+    if metrics > 0 {
+        cfg = cfg.with_metrics(metrics);
+    }
+    let stats = AppSpec { app, class }.run_cfg(platform, nprocs, scale, cfg);
+    assert!(stats.trace.is_some(), "tracing was requested");
+    stats
+}
+
+/// Warn when per-phase cycle attribution overflowed its table (the totals
+/// are still exact; only the per-phase split undercounts).
+fn warn_overflows(stats: &RunStats) {
+    let overflows: u64 = stats.procs.iter().map(|q| q.phase_overflows()).sum();
+    if overflows > 0 {
+        println!(
+            "warning: {overflows} phase-attributed cycle updates overflowed \
+             the phase table; per-phase breakdowns undercount"
+        );
+    }
 }
 
 fn main() {
-    let p = cli::parse(&["--out", "--json", "--compare-class", "--width"], &[]);
+    let p = cli::parse(
+        &["--out", "--json", "--compare-class", "--width", "--metrics"],
+        &[],
+    );
+    let metrics: u64 = p
+        .extra("--metrics")
+        .map(|v| v.parse().expect("--metrics INTERVAL_CYCLES"))
+        .unwrap_or(0);
     let compare = p.extra("--compare-class").map(cli::parse_class);
     let out_path = p.extra("--out").unwrap_or("trace.json").to_string();
     let width: usize = p
@@ -71,7 +97,8 @@ fn main() {
          deterministic run to run)",
     );
 
-    let tr = run_traced(p.app, p.class, p.platform, p.nprocs, p.scale);
+    let stats = run_traced(p.app, p.class, p.platform, p.nprocs, p.scale, metrics);
+    let tr = stats.trace.as_ref().unwrap();
     println!(
         "captured {} events across {} processors ({} dropped), {} cycles",
         tr.total_events(),
@@ -79,23 +106,26 @@ fn main() {
         tr.dropped_events(),
         tr.end()
     );
+    warn_overflows(&stats);
     println!();
     print!("{}", tr.ascii_timeline(width));
     println!();
     print!("{}", tr.wait_report());
 
-    std::fs::write(&out_path, tr.to_chrome_json()).expect("write trace json");
+    std::fs::write(&out_path, tr.to_chrome_json_with(stats.metrics.as_ref()))
+        .expect("write trace json");
     eprintln!("[trace] wrote {out_path} — load it at https://ui.perfetto.dev");
 
     if let Some(json_path) = p.extra("--json") {
-        let mut s = wait_hists_json(&tr);
+        let mut s = wait_hists_json(tr);
         s.push('\n');
         std::fs::write(json_path, s).expect("write wait-hist json");
         eprintln!("[trace] wrote {json_path}");
     }
 
     if let Some(cls2) = compare {
-        let tr2 = run_traced(p.app, cls2, p.platform, p.nprocs, p.scale);
+        let stats2 = run_traced(p.app, cls2, p.platform, p.nprocs, p.scale, metrics);
+        let tr2 = stats2.trace.as_ref().unwrap();
         let (f1, l1, b1) = tr.merged_hists();
         let (f2, l2, b2) = tr2.merged_hists();
         println!();
@@ -114,7 +144,8 @@ fn main() {
             println!("  {:<8} {:>5}  {}", "", p.class.label(), a.dist_line());
             println!("  {:<8} {:>5}  {}", "", cls2.label(), b.dist_line());
         }
-        let p2 = tr2.to_chrome_json();
+        warn_overflows(&stats2);
+        let p2 = tr2.to_chrome_json_with(stats2.metrics.as_ref());
         let out2 = format!(
             "{}.{}.json",
             out_path.trim_end_matches(".json"),

@@ -91,6 +91,8 @@ pub struct TmkPlatform {
     profiling: bool,
     /// Shared event-trace sink for the run (None when tracing is off).
     trace: Option<sim_core::TraceHandle>,
+    /// Shared interval-metrics sink for the run (None when metrics are off).
+    metrics: Option<sim_core::MetricsHandle>,
 }
 
 impl TmkPlatform {
@@ -136,6 +138,7 @@ impl TmkPlatform {
             activity: FxMap::default(),
             profiling: false,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -277,6 +280,7 @@ impl TmkPlatform {
             },
         );
         sim_core::trace::sample_fetch(&self.trace, t.timing_on, pid, *t.now - t0);
+        sim_core::metrics::page_fetch(&self.metrics, t.timing_on, *t.now, page << self.page_shift);
         // Critical-path provenance: the fault stalled `pid` over (t0, now];
         // the round-robin base source stands in as the serving side.
         sim_core::trace::emit_edge(
@@ -426,6 +430,14 @@ impl TmkPlatform {
                 .entry(page)
                 .or_default()
                 .record_diff(pid, &diff, 0, profiling, wpp);
+            sim_core::metrics::page_diff(
+                &self.metrics,
+                t.timing_on,
+                *t.now,
+                page << self.page_shift,
+                pid as u16,
+                diff.words().map(|(w, _)| w),
+            );
             // The writer's own copy reflects its diff.
             let chain_len = {
                 let log = self.log_entry(page);
@@ -460,6 +472,14 @@ impl TmkPlatform {
                     .entry(page)
                     .or_default()
                     .record_diff(g, &diff, 0, profiling, wpp);
+                sim_core::metrics::page_diff(
+                    &self.metrics,
+                    timing_on,
+                    at,
+                    page << self.page_shift,
+                    g as u16,
+                    diff.words().map(|(w, _)| w),
+                );
                 let log = self.log_entry(page);
                 log.chain.push(ArchivedDiff { writer: g, diff });
                 let pbase = page << self.page_shift;
@@ -481,6 +501,7 @@ impl TmkPlatform {
             Some(PState::ReadOnly) => {}
         }
         self.activity.entry(page).or_default().record_inval();
+        sim_core::metrics::page_inval(&self.metrics, timing_on, at, page << self.page_shift);
         sim_core::trace::emit(
             &self.trace,
             timing_on,
@@ -870,6 +891,10 @@ impl Platform for TmkPlatform {
 
     fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
         self.trace = trace;
+    }
+
+    fn set_metrics(&mut self, metrics: Option<sim_core::MetricsHandle>) {
+        self.metrics = metrics;
     }
 
     fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {

@@ -241,6 +241,10 @@ impl Machine {
                 self.st = MState::OweReply(Reply::Sync);
                 step_to_action(s)
             }
+            Desc::MetricEvent(name, n) => {
+                inner.op_metric_event(pid, name, n);
+                Action::Run
+            }
             Desc::Poison(msg) => panic!("{msg}"),
         }
     }

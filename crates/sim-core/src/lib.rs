@@ -46,6 +46,7 @@ pub mod critpath;
 pub mod detector;
 pub(crate) mod fused;
 pub mod mem;
+pub mod metrics;
 pub mod platform;
 pub mod resource;
 pub mod sched;
@@ -62,6 +63,10 @@ pub use cache::{Cache, CacheGeom, LineState, Lookup};
 pub use critpath::{analyze, what_if, what_if_report, CritPath, PathCat, PathStep, WhatIf};
 pub use detector::{RaceDetector, RaceKind, RaceReport, VectorClock};
 pub use mem::FlatMem;
+pub use metrics::{
+    EventSeries, LockSeries, MetricsHandle, MetricsReport, MetricsSink, PageInterval, PageSeries,
+    PageTrajectory, ProcSample, ProcSeries,
+};
 pub use platform::{NullPlatform, Platform, Timing};
 pub use resource::Resource;
 pub use sched::{run, run_profiled, Proc, RunConfig, MAX_SHARDS, MAX_SHARD_BATCH};

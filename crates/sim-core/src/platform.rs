@@ -203,6 +203,16 @@ pub trait Platform: Send {
     /// cycles: statistics stay bit-identical either way.
     fn set_trace(&mut self, _trace: Option<crate::trace::TraceHandle>) {}
 
+    /// Install (or remove, with `None`) the shared interval-metrics sink
+    /// for the run (see [`crate::metrics`]). Same contract as
+    /// [`Platform::set_trace`]: called once before any simulated processor
+    /// starts and once with `None` at the end of the run; platforms record
+    /// per-page protocol rates — fetches, diff words with writer
+    /// footprints, invalidations — through the handle via the
+    /// [`crate::metrics`] helpers, and recording must never charge cycles:
+    /// statistics stay bit-identical either way.
+    fn set_metrics(&mut self, _metrics: Option<crate::metrics::MetricsHandle>) {}
+
     /// The per-page sharing profile gathered since the last
     /// [`Platform::reset_timing`], if this platform produces one. Labels are
     /// attributed by the scheduler (the platform does not see the allocator).

@@ -96,6 +96,18 @@ pub struct RunConfig {
     /// [`crate::shard::DEFAULT_BATCH`]. Invisible in the statistics
     /// (asserted across values by `tests/shard_equivalence.rs`).
     pub shard_batch: usize,
+    /// Interval metrics sampling period in virtual cycles (see
+    /// [`crate::metrics`]). `0` (the default) disables the metrics engine;
+    /// a nonzero value snapshots per-proc/page/lock counter series every
+    /// that many cycles of virtual time (plus forced samples at phase and
+    /// barrier boundaries), attached as [`RunStats::metrics`]. Timing
+    /// statistics are bit-identical either way.
+    pub metrics: u64,
+    /// Per-collection capacity of the metrics engine (samples per
+    /// processor, interval bins per page, pages, locks, event names);
+    /// entries past a cap are counted as dropped, never reallocating
+    /// unbounded.
+    pub metrics_cap: usize,
 }
 
 /// Largest accepted [`RunConfig::shard_batch`]: past ~a million descriptors
@@ -181,6 +193,8 @@ impl RunConfig {
                 crate::shard::DEFAULT_BATCH,
                 1..=MAX_SHARD_BATCH,
             ),
+            metrics: 0,
+            metrics_cap: crate::metrics::DEFAULT_SERIES_CAP,
         }
     }
 
@@ -251,6 +265,28 @@ impl RunConfig {
     /// Override the run-wide dependency-edge capacity of the trace.
     pub fn with_edge_cap(mut self, cap: usize) -> Self {
         self.edge_cap = cap.max(1);
+        self
+    }
+
+    /// Enable the virtual-time interval metrics engine for this run (see
+    /// [`crate::metrics`]), sampling every `interval_cycles` of each
+    /// processor's virtual clock.
+    ///
+    /// # Panics
+    /// If `interval_cycles` is zero (zero means "off"; use the default
+    /// configuration for that).
+    pub fn with_metrics(mut self, interval_cycles: u64) -> Self {
+        assert!(
+            interval_cycles > 0,
+            "metrics interval must be nonzero (it is the sampling period)"
+        );
+        self.metrics = interval_cycles;
+        self
+    }
+
+    /// Override the metrics engine's per-collection capacity.
+    pub fn with_metrics_cap(mut self, cap: usize) -> Self {
+        self.metrics_cap = cap.max(1);
         self
     }
 
@@ -345,6 +381,10 @@ pub(crate) struct Inner {
     /// Present iff `RunConfig::trace`: the event sink shared with the
     /// platform (which holds a clone of the handle for protocol events).
     trace: Option<crate::trace::TraceHandle>,
+    /// Present iff `RunConfig::metrics > 0`: the interval metrics sink
+    /// shared with the platform (which holds a clone of the handle for
+    /// per-page protocol activity).
+    metrics: Option<crate::metrics::MetricsHandle>,
 }
 
 struct Shared {
@@ -460,6 +500,55 @@ impl Inner {
         }
     }
 
+    /// Offer the metrics sink a cumulative per-proc counter snapshot at
+    /// `pid`'s current clock. `forced` samples (phase/barrier/timing
+    /// boundaries) are always kept; unforced ticks are kept only when the
+    /// clock has rolled into a new interval, so the sink stays O(intervals),
+    /// not O(operations). Same gating as `emit`: no-op unless the run
+    /// records metrics and the timed region is active; never touches clocks
+    /// or statistics (metrics are invisible).
+    #[inline]
+    fn metrics_push(&self, pid: usize, forced: bool) {
+        if !self.timing_on {
+            return;
+        }
+        let Some(h) = &self.metrics else { return };
+        let s = &self.stats[pid];
+        let snap = crate::metrics::ProcSample {
+            interval: 0, // overwritten by the sink from `ts`
+            ts: self.clocks[pid],
+            compute: s.get(Bucket::Compute),
+            data_wait: s.get(Bucket::DataWait),
+            lock_wait: s.get(Bucket::LockWait),
+            barrier_wait: s.get(Bucket::BarrierWait),
+            remote_fetches: s.counters.remote_fetches,
+        };
+        h.lock().unwrap().sample_proc(pid, snap, forced);
+    }
+
+    /// Record a lock handoff (ownership transferred between processors) at
+    /// virtual time `now`. Same gating as `emit`.
+    #[inline]
+    fn metrics_lock_handoff(&self, now: u64, lock: u32) {
+        if self.timing_on {
+            if let Some(h) = &self.metrics {
+                h.lock().unwrap().lock_handoff(now, lock);
+            }
+        }
+    }
+
+    /// Count `n` occurrences of the named application-level event for `pid`
+    /// at its current clock (e.g. KV requests served). Scheduling-neutral:
+    /// touches no clocks, statistics or statuses, so it is invisible to the
+    /// simulation and identical across engines.
+    pub(crate) fn op_metric_event(&mut self, pid: usize, name: &'static str, n: u64) {
+        if self.timing_on {
+            if let Some(h) = &self.metrics {
+                h.lock().unwrap().event(name, pid, self.clocks[pid], n);
+            }
+        }
+    }
+
     pub(crate) fn describe(&self) -> String {
         let mut s = String::new();
         for pid in 0..self.status.len() {
@@ -493,6 +582,7 @@ impl Inner {
         }
         self.clocks[pid] += cycles;
         self.stats[pid].add(Bucket::Compute, cycles);
+        self.metrics_push(pid, false);
         Step::MaybeYield
     }
 
@@ -524,6 +614,7 @@ impl Inner {
         };
         self.clocks[pid] += k * per_elem;
         self.stats[pid].add(Bucket::Compute, k * per_elem);
+        self.metrics_push(pid, false);
         Some(k)
     }
 
@@ -538,6 +629,7 @@ impl Inner {
                 let ts = self.clocks[pid];
                 self.emit(pid, ts, crate::trace::EventKind::PhaseEnd { phase: old });
                 self.emit(pid, ts, crate::trace::EventKind::PhaseBegin { phase: new });
+                self.metrics_push(pid, true);
             }
         }
     }
@@ -567,6 +659,7 @@ impl Inner {
             };
             self.platform.load(&mut t, addr, len)
         };
+        self.metrics_push(pid, false);
         if let Some(d) = self.detector.as_mut() {
             d.on_read(pid, addr, len, &self.alloc);
         }
@@ -585,6 +678,7 @@ impl Inner {
             };
             self.platform.store(&mut t, addr, len, val);
         }
+        self.metrics_push(pid, false);
         if let Some(d) = self.detector.as_mut() {
             d.on_write(pid, addr, len, &self.alloc);
         }
@@ -615,6 +709,7 @@ impl Inner {
                 .load_bulk(&mut t, base, stride, len, out, budget)
         };
         debug_assert!(k >= 1, "load_bulk must perform at least one word");
+        self.metrics_push(pid, false);
         if let Some(d) = self.detector.as_mut() {
             d.on_read_run(pid, base, stride, len, k, &self.alloc);
         }
@@ -644,6 +739,7 @@ impl Inner {
                 .store_bulk(&mut t, base, stride, len, vals, budget)
         };
         debug_assert!(k >= 1, "store_bulk must perform at least one word");
+        self.metrics_push(pid, false);
         if let Some(d) = self.detector.as_mut() {
             d.on_write_run(pid, base, stride, len, k, &self.alloc);
         }
@@ -703,6 +799,11 @@ impl Inner {
                     src,
                     src_ts,
                 );
+                // Ownership moved between processors iff the stall was paid
+                // to a *different* last releaser.
+                if src != pid {
+                    self.metrics_lock_handoff(resume, id);
+                }
             }
             self.emit(
                 pid,
@@ -710,6 +811,7 @@ impl Inner {
                 crate::trace::EventKind::LockAcquireGranted { lock: id as u64 },
             );
             self.sample_lock(pid, waited);
+            self.metrics_push(pid, false);
             if let Some(det) = self.detector.as_mut() {
                 det.on_acquire(pid, id);
             }
@@ -793,13 +895,18 @@ impl Inner {
                     pid,
                     release_ts,
                 );
+                // A waiter grant is always an ownership transfer from the
+                // releasing processor.
+                self.metrics_lock_handoff(resume, id);
             }
             self.clocks[w.pid] = resume;
+            self.metrics_push(w.pid, false);
             self.make_ready(w.pid);
             if let Some(det) = self.detector.as_mut() {
                 det.on_acquire(w.pid, id);
             }
         }
+        self.metrics_push(pid, false);
         Step::MaybeYield
     }
 
@@ -871,6 +978,7 @@ impl Inner {
                     );
                 }
                 self.clocks[q] = resume;
+                self.metrics_push(q, true);
                 if q != pid {
                     debug_assert_eq!(self.status[q], Status::Blocked);
                     self.make_ready(q);
@@ -910,6 +1018,14 @@ impl Inner {
                 for q in 0..nprocs {
                     let phase = self.stats[q].phase();
                     self.emit(q, 0, crate::trace::EventKind::PhaseBegin { phase });
+                }
+            }
+            // Restart the metrics series likewise, anchoring every
+            // processor with a zero sample at virtual time zero.
+            if let Some(h) = &self.metrics {
+                h.lock().unwrap().reset();
+                for q in 0..nprocs {
+                    self.metrics_push(q, true);
                 }
             }
             if let Some(det) = self.detector.as_mut() {
@@ -957,6 +1073,9 @@ impl Inner {
                     // so phase spans cover the whole timed region.
                     let phase = self.stats[q].phase();
                     self.emit(q, max, crate::trace::EventKind::PhaseEnd { phase });
+                    // Final sample at the settle point so every series ends
+                    // with the run totals.
+                    self.metrics_push(q, true);
                 }
                 if q != pid && self.status[q] == Status::Blocked {
                     self.make_ready(q);
@@ -1056,6 +1175,25 @@ impl Proc {
         let mut g = self.shared().lock();
         let step = g.op_work(self.pid, cycles);
         self.step_end(g, step);
+    }
+
+    /// Count `n` occurrences of a named application-level event (e.g.
+    /// requests served) in the run's interval metrics (see
+    /// [`crate::metrics`]), timestamped at this processor's current virtual
+    /// clock. Free when the run does not record metrics or timing is off;
+    /// never affects timing, scheduling or statistics either way — the
+    /// `name` keys an [`crate::metrics::EventSeries`] in the report.
+    pub fn metric_add(&mut self, name: &'static str, n: u64) {
+        if let Some(ctx) = self.gen() {
+            // Replay needs a descriptor only when a sink exists to count
+            // it; metrics-off streams stay byte-identical.
+            if ctx.timing && ctx.metrics {
+                ctx.emit(Desc::MetricEvent(name, n));
+            }
+            return;
+        }
+        let mut g = self.shared().lock();
+        g.op_metric_event(self.pid, name, n);
     }
 
     /// Set the current application phase for per-phase time attribution.
@@ -1560,6 +1698,14 @@ pub(crate) fn build_inner(mut platform: Box<dyn Platform>, cfg: &RunConfig) -> I
         )))
     });
     platform.set_trace(trace_handle.clone());
+    let metrics_handle = (cfg.metrics > 0).then(|| {
+        Arc::new(Mutex::new(crate::metrics::MetricsSink::new(
+            nprocs,
+            cfg.metrics,
+            cfg.metrics_cap,
+        )))
+    });
+    platform.set_metrics(metrics_handle.clone());
     Inner {
         platform,
         alloc: GlobalAlloc::new(nprocs),
@@ -1584,6 +1730,7 @@ pub(crate) fn build_inner(mut platform: Box<dyn Platform>, cfg: &RunConfig) -> I
             .detect_races
             .then(|| RaceDetector::new(nprocs, cfg.label.clone())),
         trace: trace_handle,
+        metrics: metrics_handle,
     }
 }
 
@@ -1620,6 +1767,17 @@ pub(crate) fn collect_stats(mut inner: Inner, cfg: &RunConfig) -> (RunStats, Opt
                 inner.alloc.labeled_spans(),
             )
     });
+    // Same unwrap-and-freeze dance for the metrics sink.
+    inner.platform.set_metrics(None);
+    let alloc = &inner.alloc;
+    let metrics = inner.metrics.take().map(|h| {
+        let Ok(sink) = Arc::try_unwrap(h) else {
+            panic!("platform released its metrics handle")
+        };
+        sink.into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_report(|addr| alloc.label_of(addr))
+    });
     (
         RunStats {
             procs: inner.stats,
@@ -1627,6 +1785,7 @@ pub(crate) fn collect_stats(mut inner: Inner, cfg: &RunConfig) -> (RunStats, Opt
             races,
             sharing,
             trace,
+            metrics,
             phase_names: cfg.phase_names.clone(),
         },
         profile,
@@ -1748,6 +1907,7 @@ where
     let nprocs = cfg.nprocs;
     let bulk = cfg.bulk;
     let batch_cap = cfg.shard_batch;
+    let metrics_on = cfg.metrics > 0;
     let plane = Arc::new(ValuePlane::new());
     let gate = Arc::new(Gate::new(cfg.shards));
 
@@ -1779,7 +1939,7 @@ where
                         nprocs,
                         bulk,
                         backend: Backend::Gen(Box::new(GenCtx::new(
-                            plane, tx, reply_rx, gate, batch_cap,
+                            plane, tx, reply_rx, gate, batch_cap, metrics_on,
                         ))),
                     };
                     if let Some(ctx) = proc.gen() {
@@ -1914,6 +2074,7 @@ where
                                     p.stop_timing();
                                     let _ = reply_tx.send(Reply::Sync);
                                 }
+                                Desc::MetricEvent(name, n) => p.metric_add(name, n),
                                 Desc::Poison(msg) => panic!("{msg}"),
                             }
                         }

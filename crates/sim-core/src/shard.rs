@@ -113,6 +113,11 @@ pub(crate) enum Desc {
     Barrier(u32),
     StartTiming,
     StopTiming,
+    /// A named application-level metric count (see
+    /// [`Proc::metric_add`](crate::Proc::metric_add)). Emitted only when
+    /// the run records metrics, so metrics-off streams are byte-identical
+    /// to builds that predate it.
+    MetricEvent(&'static str, u64),
     /// The application body panicked in generation; replay re-raises the
     /// message so the classic poison protocol unwinds the run exactly as a
     /// direct panic would have.
@@ -314,6 +319,10 @@ pub(crate) struct GenCtx {
     /// all-processor rendezvous, so the mirror agrees with replay at every
     /// point the application can observe).
     pub(crate) timing: bool,
+    /// Whether this run records interval metrics (`RunConfig::metrics > 0`):
+    /// gates [`Desc::MetricEvent`] emission so metrics-off descriptor
+    /// streams are unchanged.
+    pub(crate) metrics: bool,
 }
 
 impl GenCtx {
@@ -323,6 +332,7 @@ impl GenCtx {
         reply_rx: Receiver<Reply>,
         gate: Arc<Gate>,
         batch_cap: usize,
+        metrics: bool,
     ) -> Self {
         Self {
             plane,
@@ -333,6 +343,7 @@ impl GenCtx {
             batch_cap,
             gate_held: false,
             timing: false,
+            metrics,
         }
     }
 

@@ -204,6 +204,11 @@ pub struct RunStats {
     /// otherwise; traced runs are bit-identical apart from this field). See
     /// [`crate::trace`].
     pub trace: Option<crate::trace::RunTrace>,
+    /// Virtual-time interval metrics report, when the run was configured
+    /// with [`crate::RunConfig::with_metrics`] (`None` otherwise; metrics
+    /// runs are bit-identical apart from this field). See
+    /// [`crate::metrics`].
+    pub metrics: Option<crate::metrics::MetricsReport>,
     /// Application-registered phase names
     /// ([`crate::RunConfig::with_phase_names`]); empty when the app
     /// registered none. Present on traced and untraced runs alike so figure
@@ -325,6 +330,7 @@ mod tests {
             races: Vec::new(),
             sharing: None,
             trace: None,
+            metrics: None,
             phase_names: Vec::new(),
         };
         assert_eq!(rs.total_cycles(), 70);

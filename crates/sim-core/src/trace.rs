@@ -628,6 +628,15 @@ impl RunTrace {
     /// duration events, protocol events as instants, and lock handoffs as
     /// flow arrows from the releasing to the granted processor.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with(None)
+    }
+
+    /// [`RunTrace::to_chrome_json`], plus counter tracks (`"ph":"C"`
+    /// events) rendered from an interval-metrics report taken in the same
+    /// run: per-processor cycle-breakdown rates, activity of the hottest
+    /// pages, and per-lock hand-off rates, all on the shared virtual-time
+    /// axis so the time-series line up under the duration events.
+    pub fn to_chrome_json_with(&self, metrics: Option<&crate::metrics::MetricsReport>) -> String {
         let mut out = String::with_capacity(4096 + self.total_events() * 96);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
         let mut first = true;
@@ -855,6 +864,121 @@ impl RunTrace {
                     }
                 }
                 _ => {}
+            }
+        }
+
+        // Counter tracks from the interval-metrics report: Perfetto draws
+        // one stacked area chart per distinct counter name.
+        if let Some(m) = metrics {
+            let ivlen = m.interval.max(1);
+            for (pid, p) in m.procs.iter().enumerate() {
+                let mut prev = crate::metrics::ProcSample::default();
+                for s in &p.samples {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"proc {pid} cycles\",\"cat\":\"metrics\",\
+                             \"ph\":\"C\",\"pid\":0,\"tid\":{pid},\"ts\":{},\
+                             \"args\":{{\"compute\":{},\"data_wait\":{},\
+                             \"lock_wait\":{},\"barrier_wait\":{}}}}}",
+                            s.ts,
+                            s.compute.saturating_sub(prev.compute),
+                            s.data_wait.saturating_sub(prev.data_wait),
+                            s.lock_wait.saturating_sub(prev.lock_wait),
+                            s.barrier_wait.saturating_sub(prev.barrier_wait),
+                        ),
+                    );
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"proc {pid} fetches\",\"cat\":\"metrics\",\
+                             \"ph\":\"C\",\"pid\":0,\"tid\":{pid},\"ts\":{},\
+                             \"args\":{{\"fetches\":{}}}}}",
+                            s.ts,
+                            s.remote_fetches.saturating_sub(prev.remote_fetches),
+                        ),
+                    );
+                    prev = *s;
+                }
+            }
+            // The hottest pages by protocol activity, so a big grid does
+            // not explode the trace.
+            let mut hot: Vec<&crate::metrics::PageSeries> = m.pages.iter().collect();
+            hot.sort_by_key(|p| {
+                (
+                    std::cmp::Reverse(p.total_diff_words() + p.total_fetches()),
+                    p.page_base,
+                )
+            });
+            for p in hot.into_iter().take(8) {
+                let name = if p.label.is_empty() {
+                    format!("page {:#x} [{}]", p.page_base, p.trajectory.label())
+                } else {
+                    format!(
+                        "page {:#x} ({}) [{}]",
+                        p.page_base,
+                        esc(p.label),
+                        p.trajectory.label()
+                    )
+                };
+                for iv in &p.intervals {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"metrics\",\"ph\":\"C\",\
+                             \"pid\":0,\"tid\":0,\"ts\":{},\
+                             \"args\":{{\"fetches\":{},\"diff_words\":{},\
+                             \"invalidations\":{},\"writers\":{}}}}}",
+                            iv.interval * ivlen,
+                            iv.fetches,
+                            iv.diff_words,
+                            iv.invalidations,
+                            iv.writers.len(),
+                        ),
+                    );
+                }
+            }
+            for l in &m.locks {
+                for &(iv, n) in &l.intervals {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"lock {} handoffs\",\"cat\":\"metrics\",\
+                             \"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\
+                             \"args\":{{\"handoffs\":{n}}}}}",
+                            l.lock,
+                            iv * ivlen,
+                        ),
+                    );
+                }
+            }
+            for e in &m.events {
+                // Aggregate an application event across processors into one
+                // per-interval series.
+                let mut byiv: crate::util::FxMap<u64, u64> = crate::util::FxMap::default();
+                for p in &e.procs {
+                    for &(iv, n) in p {
+                        *byiv.entry(iv).or_insert(0) += n;
+                    }
+                }
+                let mut ivs: Vec<(u64, u64)> = byiv.into_iter().collect();
+                ivs.sort_by_key(|&(iv, _)| iv);
+                for (iv, n) in ivs {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"metrics\",\"ph\":\"C\",\
+                             \"pid\":0,\"tid\":0,\"ts\":{},\"args\":{{\"count\":{n}}}}}",
+                            esc(e.name),
+                            iv * ivlen,
+                        ),
+                    );
+                }
             }
         }
 

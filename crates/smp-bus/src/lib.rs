@@ -90,6 +90,8 @@ pub struct SmpPlatform {
     line_mask: u64,
     /// Shared event-trace sink for the run (None when tracing is off).
     trace: Option<sim_core::TraceHandle>,
+    /// Shared interval-metrics sink for the run (None when metrics are off).
+    metrics: Option<sim_core::MetricsHandle>,
 }
 
 impl SmpPlatform {
@@ -108,6 +110,7 @@ impl SmpPlatform {
             snoop: FxMap::default(),
             line_mask,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -189,6 +192,7 @@ impl SmpPlatform {
         t.stats.counters.bytes_transferred += self.cfg.l2.line;
         // Every bus-serviced miss is a data-latency sample on this platform.
         sim_core::trace::sample_fetch(&self.trace, t.timing_on, t.pid, stall);
+        sim_core::metrics::page_fetch(&self.metrics, t.timing_on, *t.now, line);
         // Critical-path provenance: the caller charges `stall` from `now`,
         // so the service interval is (now, now + stall]; the supplying
         // cache (if any) is the serving side, otherwise memory (self).
@@ -445,6 +449,10 @@ impl Platform for SmpPlatform {
 
     fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
         self.trace = trace;
+    }
+
+    fn set_metrics(&mut self, metrics: Option<sim_core::MetricsHandle>) {
+        self.metrics = metrics;
     }
 }
 

@@ -99,6 +99,8 @@ pub struct SvmPlatform {
     lock_vc: FxMap<u32, Vec<u32>>,
     /// Shared event-trace sink for the run (None when tracing is off).
     trace: Option<sim_core::TraceHandle>,
+    /// Shared interval-metrics sink for the run (None when metrics are off).
+    metrics: Option<sim_core::MetricsHandle>,
 }
 
 impl SvmPlatform {
@@ -143,6 +145,7 @@ impl SvmPlatform {
             log_base: vec![0; nn],
             lock_vc: FxMap::default(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -267,6 +270,7 @@ impl SvmPlatform {
             .entry(page)
             .or_default()
             .record_fetch(nd, wire, profiling, words);
+        sim_core::metrics::page_fetch(&self.metrics, t.timing_on, *t.now, page << self.page_shift);
     }
 
     /// Processor ids hosted by node `nd`.
@@ -371,6 +375,9 @@ impl SvmPlatform {
     /// bookkeeping. Returns `(local_cycles, arrival_at_home)` — the cycles
     /// the flushing processor spends, and when the diff lands at the home.
     /// `now` is the flusher's clock *after* `local_cycles` so far.
+    /// `diff_at` is the virtual time the interval metrics attribute the
+    /// diff to (the invalidation path prices with `now = 0` but knows the
+    /// real consumption time).
     fn flush_page(
         &mut self,
         nd: usize,
@@ -378,6 +385,7 @@ impl SvmPlatform {
         home: usize,
         now: u64,
         timing_on: bool,
+        diff_at: u64,
     ) -> (u64, u64, u64) {
         let scan = self.cfg.words_per_page() * self.cfg.diff_scan_per_word;
         let entry = self.nodes[nd].pages.get_mut(&page).unwrap();
@@ -397,6 +405,14 @@ impl SvmPlatform {
             .entry(page)
             .or_default()
             .record_diff(nd, &diff, wire_bytes, profiling, words);
+        sim_core::metrics::page_diff(
+            &self.metrics,
+            timing_on,
+            diff_at,
+            page << self.page_shift,
+            nd as u16,
+            diff.words().map(|(w, _)| w),
+        );
         // Apply to home frame (state). The applier is remote: count the
         // application at the home via its debt counter, drained at finalize.
         self.home_frame_entry(home, page);
@@ -454,7 +470,8 @@ impl SvmPlatform {
                 let home =
                     t.placement.home_of(page << self.page_shift, t.pid) / self.cfg.procs_per_node;
                 let diff_t0 = *t.now;
-                let (local, applied, bytes) = self.flush_page(nd, page, home, *t.now, t.timing_on);
+                let (local, applied, bytes) =
+                    self.flush_page(nd, page, home, *t.now, t.timing_on, *t.now);
                 t.charge(Bucket::HandlerCompute, local);
                 // Critical-path provenance: the flusher spent (diff_t0, now]
                 // creating this page's diff.
@@ -513,7 +530,7 @@ impl SvmPlatform {
         match state {
             None => {}
             Some(PState::ReadWrite) => {
-                let (local, _, _) = self.flush_page(g, page, home, 0, timing_on);
+                let (local, _, _) = self.flush_page(g, page, home, 0, timing_on, at);
                 // The flusher here is the invalidated node, whose statistics
                 // this path cannot reach: accrue and drain at finalize.
                 self.nodes[g].diffs_created_debt += 1;
@@ -539,6 +556,7 @@ impl SvmPlatform {
         }
         if state.is_some() {
             self.activity.entry(page).or_default().record_inval();
+            sim_core::metrics::page_inval(&self.metrics, timing_on, at, page << self.page_shift);
             sim_core::trace::emit(
                 &self.trace,
                 timing_on,
@@ -955,6 +973,10 @@ impl Platform for SvmPlatform {
 
     fn set_trace(&mut self, trace: Option<sim_core::TraceHandle>) {
         self.trace = trace;
+    }
+
+    fn set_metrics(&mut self, metrics: Option<sim_core::MetricsHandle>) {
+        self.metrics = metrics;
     }
 
     fn sharing_profile(&self) -> Option<sim_core::sharing::SharingProfile> {
