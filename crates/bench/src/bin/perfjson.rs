@@ -33,6 +33,12 @@
 //! drop, and the JSON records the host overhead next to the other
 //! diagnostic layers'.
 //!
+//! A sixth cell runs Ocean on SVM with all three diagnostic layers on and
+//! feeds them to the optimization advisor: the layers together must still
+//! be invisible in the timed `RunStats`, every recommendation bound must
+//! be `>= 1.0`, and the JSON records the pure post-hoc analysis cost plus
+//! the per-family recommendation counts.
+//!
 //! Every main cell is additionally re-timed on the sharded generate/replay
 //! engine (`with_shards(4)`), twice: once with the classic thread-per-
 //! processor replay side and once with the fused single-threaded
@@ -300,6 +306,37 @@ fn main() {
         "default metrics caps overflowed"
     );
 
+    // Advisor cell: all three diagnostic layers on at once, fused into
+    // ranked recommendations. The layers together must still be invisible
+    // in the timed statistics, and the advisor itself is pure post-hoc
+    // host work; the JSON records its analysis cost and what it found.
+    eprintln!("[perfjson] Ocean on SVM with the optimization advisor...");
+    let t9 = Instant::now();
+    let mut advised = prof_spec.run_cfg(
+        Platform::Svm,
+        nprocs,
+        scale,
+        RunConfig::new(nprocs)
+            .with_sharing_profile()
+            .with_trace()
+            .with_metrics(sim_core::metrics::DEFAULT_INTERVAL),
+    );
+    let host_s_advised = t9.elapsed().as_secs_f64();
+    let t10 = Instant::now();
+    let rep = sim_core::advise(&advised);
+    let host_s_advisor = t10.elapsed().as_secs_f64();
+    advised.sharing = None;
+    advised.trace = None;
+    advised.metrics = None;
+    assert_eq!(
+        advised, plain,
+        "diagnostic layers perturbed RunStats for Ocean on SVM"
+    );
+    for r in &rep.recs {
+        assert!(r.speedup >= 1.0, "advisor bound < 1.0 for {:?}", r.action);
+    }
+    let rec_count = |fam| rep.recs.iter().filter(|r| r.family == fam).count();
+
     // Batch sweep: the descriptor batch size is a channel-granularity knob
     // on the generate side — it must be invisible in the statistics, and
     // the sweep records what it costs (or buys) in host time on one fused
@@ -372,6 +409,22 @@ fn main() {
         metrics.max_interval() + 1,
         metrics.pages.len(),
         metrics.total_dropped()
+    );
+    let _ = writeln!(
+        json,
+        "  \"advisor_cell\": {{\"app\": \"Ocean\", \"platform\": \"SVM\", \
+         \"host_s_plain\": {:.4}, \"host_s_layered\": {:.4}, \
+         \"layered_overhead\": {:.2}, \"advise_host_s\": {:.4}, \
+         \"recommendations\": {}, \"by_family\": {{\"P/A\": {}, \"DS\": {}, \
+         \"Alg\": {}}}}},",
+        host_s_plain,
+        host_s_advised,
+        host_s_advised / host_s_plain.max(1e-12),
+        host_s_advisor,
+        rep.recs.len(),
+        rec_count(sim_core::Family::PadAlign),
+        rec_count(sim_core::Family::DataStruct),
+        rec_count(sim_core::Family::Algorithm)
     );
     let _ = writeln!(
         json,

@@ -190,13 +190,8 @@ fn main() {
     );
     let m = stats.metrics.as_ref().expect("metrics were requested");
 
-    let overflows: u64 = stats.procs.iter().map(|q| q.phase_overflows()).sum();
+    let overflows = cli::warn_phase_overflows(&stats);
     if overflows > 0 {
-        println!(
-            "warning: {overflows} phase-attributed cycle updates overflowed the \
-             phase table; per-phase breakdowns undercount (raise the phase cap \
-             or set fewer phases)"
-        );
         println!();
     }
 

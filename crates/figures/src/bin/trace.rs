@@ -55,18 +55,6 @@ fn run_traced(
     stats
 }
 
-/// Warn when per-phase cycle attribution overflowed its table (the totals
-/// are still exact; only the per-phase split undercounts).
-fn warn_overflows(stats: &RunStats) {
-    let overflows: u64 = stats.procs.iter().map(|q| q.phase_overflows()).sum();
-    if overflows > 0 {
-        println!(
-            "warning: {overflows} phase-attributed cycle updates overflowed \
-             the phase table; per-phase breakdowns undercount"
-        );
-    }
-}
-
 fn main() {
     let p = cli::parse(
         &["--out", "--json", "--compare-class", "--width", "--metrics"],
@@ -106,7 +94,7 @@ fn main() {
         tr.dropped_events(),
         tr.end()
     );
-    warn_overflows(&stats);
+    cli::warn_phase_overflows(&stats);
     println!();
     print!("{}", tr.ascii_timeline(width));
     println!();
@@ -144,7 +132,7 @@ fn main() {
             println!("  {:<8} {:>5}  {}", "", p.class.label(), a.dist_line());
             println!("  {:<8} {:>5}  {}", "", cls2.label(), b.dist_line());
         }
-        warn_overflows(&stats2);
+        cli::warn_phase_overflows(&stats2);
         let p2 = tr2.to_chrome_json_with(stats2.metrics.as_ref());
         let out2 = format!(
             "{}.{}.json",

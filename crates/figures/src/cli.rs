@@ -129,6 +129,23 @@ pub fn parse_from(args: Vec<String>, value_flags: &[&str], bool_flags: &[&str]) 
     p
 }
 
+/// Print the shared phase-table-overflow warning when per-phase cycle
+/// attribution overflowed its table (the totals stay exact; only the
+/// per-phase split undercounts). Returns the overflow count so JSON
+/// emitters can record it. Used by the `metrics`, `trace` and `advisor`
+/// binaries so the wording stays in one place.
+pub fn warn_phase_overflows(stats: &sim_core::RunStats) -> u64 {
+    let overflows: u64 = stats.procs.iter().map(|q| q.phase_overflows()).sum();
+    if overflows > 0 {
+        println!(
+            "warning: {overflows} phase-attributed cycle updates overflowed the \
+             phase table; per-phase breakdowns undercount (raise the phase cap \
+             or set fewer phases)"
+        );
+    }
+    overflows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

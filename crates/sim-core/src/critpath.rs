@@ -189,6 +189,11 @@ impl WhatIf {
             WhatIf::Label(l) => format!("traffic on `{l}`"),
         }
     }
+
+    /// Whether `e`'s stall would be zeroed by this target.
+    pub fn matches(&self, tr: &RunTrace, e: &DepEdge) -> bool {
+        does_match(tr, e, self)
+    }
 }
 
 /// One ranked what-if projection.
@@ -467,6 +472,22 @@ fn recompute(tr: &RunTrace, zero: impl Fn(&DepEdge) -> bool) -> u64 {
 /// best case: serialization behind the eliminated stalls is ignored).
 pub fn what_if(tr: &RunTrace, target: &WhatIf) -> u64 {
     recompute(tr, |e| does_match(tr, e, target))
+}
+
+/// Projected end-to-end time with every edge matching *any* of `targets`
+/// zeroed — the combined upper bound for applying a whole family of
+/// transformations at once. Zeroing a superset of edges can only shrink
+/// the projection, so the union bound dominates each individual bound.
+pub fn what_if_all(tr: &RunTrace, targets: &[WhatIf]) -> u64 {
+    recompute(tr, |e| targets.iter().any(|w| does_match(tr, e, w)))
+}
+
+/// Projected end-to-end time with an arbitrary set of edges zeroed —
+/// the generalized form of [`what_if`] for callers (like the advisor)
+/// whose targets are not expressible as a single [`WhatIf`], e.g. "all
+/// protocol stalls landing in phase 2".
+pub fn what_if_edges(tr: &RunTrace, zero: impl Fn(&DepEdge) -> bool) -> u64 {
+    recompute(tr, zero)
 }
 
 /// Ranked what-if projections: every non-compute category with

@@ -40,6 +40,7 @@
 // iterator adaptors in this numeric code.
 #![allow(clippy::needless_range_loop)]
 pub mod addr;
+pub mod advisor;
 pub mod alloc;
 pub mod cache;
 pub mod critpath;
@@ -58,9 +59,15 @@ pub mod util;
 pub mod view;
 
 pub use addr::{Addr, HEAP_BASE, PAGE_SHIFT, PAGE_SIZE};
+pub use advisor::{
+    advise, Action, AdvisorReport, Evidence, Family, FamilyBound, Recommendation, Severity,
+};
 pub use alloc::{GlobalAlloc, Placement, PlacementMap};
 pub use cache::{Cache, CacheGeom, LineState, Lookup};
-pub use critpath::{analyze, what_if, what_if_report, CritPath, PathCat, PathStep, WhatIf};
+pub use critpath::{
+    analyze, what_if, what_if_all, what_if_edges, what_if_report, CritPath, PathCat, PathStep,
+    WhatIf,
+};
 pub use detector::{RaceDetector, RaceKind, RaceReport, VectorClock};
 pub use mem::FlatMem;
 pub use metrics::{

@@ -51,11 +51,13 @@ pub struct RunConfig {
     /// Gather a per-page [`crate::sharing::SharingProfile`] on page-based
     /// platforms (word-granularity write footprints, writer/reader sets,
     /// true-vs-false sharing classification), attached as
-    /// [`RunStats::sharing`]. Off by default; timing statistics are
-    /// bit-identical either way.
+    /// [`RunStats::sharing`]. Off by default; `SIM_SHARING=1` in the
+    /// environment flips the default. Timing statistics are bit-identical
+    /// either way.
     pub sharing_profile: bool,
     /// Record a virtual-time event trace ([`crate::trace`]) of the timed
-    /// region, attached as [`RunStats::trace`]. Off by default; timing
+    /// region, attached as [`RunStats::trace`]. Off by default;
+    /// `SIM_TRACE=1` in the environment flips the default. Timing
     /// statistics are bit-identical either way.
     pub trace: bool,
     /// Per-processor event-buffer capacity for the trace (events past the
@@ -100,8 +102,9 @@ pub struct RunConfig {
     /// [`crate::metrics`]). `0` (the default) disables the metrics engine;
     /// a nonzero value snapshots per-proc/page/lock counter series every
     /// that many cycles of virtual time (plus forced samples at phase and
-    /// barrier boundaries), attached as [`RunStats::metrics`]. Timing
-    /// statistics are bit-identical either way.
+    /// barrier boundaries), attached as [`RunStats::metrics`]. Defaults to
+    /// the `SIM_METRICS` environment variable when set. Timing statistics
+    /// are bit-identical either way.
     pub metrics: u64,
     /// Per-collection capacity of the metrics engine (samples per
     /// processor, interval bins per page, pages, locks, event names);
@@ -181,8 +184,8 @@ impl RunConfig {
             detect_races: false,
             label: String::new(),
             bulk: true,
-            sharing_profile: false,
-            trace: false,
+            sharing_profile: env_bool("SIM_SHARING", false),
+            trace: env_bool("SIM_TRACE", false),
             trace_cap: crate::trace::DEFAULT_EVENT_CAP,
             edge_cap: crate::trace::DEFAULT_EDGE_CAP,
             phase_names: Vec::new(),
@@ -193,7 +196,7 @@ impl RunConfig {
                 crate::shard::DEFAULT_BATCH,
                 1..=MAX_SHARD_BATCH,
             ),
-            metrics: 0,
+            metrics: env_usize("SIM_METRICS", 0, 0..=usize::MAX) as u64,
             metrics_cap: crate::metrics::DEFAULT_SERIES_CAP,
         }
     }
@@ -2324,6 +2327,31 @@ mod tests {
         assert!(!parse_env_bool("SIM_SHARD_FUSED", "0"));
         assert!(!parse_env_bool("SIM_SHARD_FUSED", "off"));
         assert!(!parse_env_bool("SIM_SHARD_FUSED", "False"));
+    }
+
+    #[test]
+    fn env_parse_accepts_diagnostics_values() {
+        // The diagnostics defaults (SIM_SHARING / SIM_TRACE / SIM_METRICS)
+        // go through the same helpers; 0 is a valid metrics interval (off).
+        assert_eq!(parse_env_usize("SIM_METRICS", "0", 0..=usize::MAX), 0);
+        assert_eq!(
+            parse_env_usize("SIM_METRICS", "65536", 0..=usize::MAX),
+            65536
+        );
+        assert!(parse_env_bool("SIM_TRACE", "1"));
+        assert!(!parse_env_bool("SIM_SHARING", "no"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_METRICS=\"often\" is not a valid integer")]
+    fn env_parse_rejects_garbage_metrics_interval() {
+        parse_env_usize("SIM_METRICS", "often", 0..=usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "SIM_TRACE=\"yes please\" is not a boolean")]
+    fn env_parse_rejects_non_boolean_trace() {
+        parse_env_bool("SIM_TRACE", "yes please");
     }
 
     #[test]

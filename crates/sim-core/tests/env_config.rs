@@ -14,9 +14,16 @@ use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-const VARS: [&str; 3] = ["SIM_SHARDS", "SIM_SHARD_FUSED", "SIM_SHARD_BATCH"];
+const VARS: [&str; 6] = [
+    "SIM_SHARDS",
+    "SIM_SHARD_FUSED",
+    "SIM_SHARD_BATCH",
+    "SIM_SHARING",
+    "SIM_TRACE",
+    "SIM_METRICS",
+];
 
-/// Run `f` with the `SIM_SHARD*` variables set exactly to `vars`
+/// Run `f` with the `SIM_*` variables set exactly to `vars`
 /// (everything else unset), restoring the previous environment after.
 fn with_env<R>(vars: &[(&str, &str)], f: impl FnOnce() -> R + std::panic::UnwindSafe) -> R {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -58,6 +65,9 @@ fn unset_variables_use_defaults() {
         assert_eq!(cfg.shards, 1);
         assert!(cfg.shard_fused);
         assert!((1..=MAX_SHARD_BATCH).contains(&cfg.shard_batch));
+        assert!(!cfg.sharing_profile);
+        assert!(!cfg.trace);
+        assert_eq!(cfg.metrics, 0);
     });
 }
 
@@ -74,6 +84,53 @@ fn well_formed_values_take_effect() {
             assert_eq!(cfg.shards, 4);
             assert!(!cfg.shard_fused);
             assert_eq!(cfg.shard_batch, 128);
+        },
+    );
+}
+
+#[test]
+fn diagnostics_variables_take_effect() {
+    with_env(
+        &[
+            ("SIM_SHARING", "1"),
+            ("SIM_TRACE", "1"),
+            ("SIM_METRICS", "65536"),
+        ],
+        || {
+            let cfg = RunConfig::new(4);
+            assert!(cfg.sharing_profile);
+            assert!(cfg.trace);
+            assert_eq!(cfg.metrics, 65536);
+        },
+    );
+}
+
+#[test]
+fn diagnostics_variables_turn_on_the_layers() {
+    // End-to-end: a run launched with the env set actually attaches the
+    // reports, so diagnostics can be flipped on without touching code.
+    with_env(
+        &[
+            ("SIM_SHARING", "1"),
+            ("SIM_TRACE", "1"),
+            ("SIM_METRICS", "65536"),
+        ],
+        || {
+            let cfg = RunConfig::new(2);
+            let platform = Box::new(sim_core::NullPlatform::new(2));
+            let stats = sim_core::run(platform, cfg, |p| {
+                p.start_timing();
+                p.work(100);
+                p.barrier(0);
+                p.stop_timing();
+            });
+            assert!(stats.sharing.is_some(), "SIM_SHARING=1 attaches sharing");
+            assert!(stats.trace.is_some(), "SIM_TRACE=1 attaches the trace");
+            let m = stats
+                .metrics
+                .as_ref()
+                .expect("SIM_METRICS attaches metrics");
+            assert_eq!(m.interval, 65536);
         },
     );
 }
@@ -124,6 +181,29 @@ fn malformed_batch_panics_naming_variable_and_value() {
 }
 
 #[test]
+fn malformed_diagnostics_panics_naming_variable_and_value() {
+    for (var, bad) in [
+        ("SIM_SHARING", "2"),
+        ("SIM_SHARING", "shared"),
+        ("SIM_TRACE", ""),
+        ("SIM_TRACE", "yes please"),
+        ("SIM_METRICS", "often"),
+        ("SIM_METRICS", "-1"),
+        ("SIM_METRICS", "1e6"),
+    ] {
+        let msg = with_env(&[(var, bad)], || {
+            panic_message(|| {
+                let _ = RunConfig::new(4);
+            })
+        });
+        assert!(
+            msg.contains(var) && msg.contains(bad),
+            "{var}={bad:?}: unhelpful panic message {msg:?}"
+        );
+    }
+}
+
+#[test]
 fn boolean_spellings_are_case_insensitive() {
     for (raw, want) in [
         ("1", true),
@@ -137,6 +217,11 @@ fn boolean_spellings_are_case_insensitive() {
     ] {
         with_env(&[("SIM_SHARD_FUSED", raw)], || {
             assert_eq!(RunConfig::new(4).shard_fused, want, "raw = {raw:?}");
+        });
+        with_env(&[("SIM_SHARING", raw), ("SIM_TRACE", raw)], || {
+            let cfg = RunConfig::new(4);
+            assert_eq!(cfg.sharing_profile, want, "SIM_SHARING = {raw:?}");
+            assert_eq!(cfg.trace, want, "SIM_TRACE = {raw:?}");
         });
     }
 }
